@@ -1,0 +1,32 @@
+"""Regenerate Fig. 5 — memory-adaptive training vs naive baseline over the
+proportion of failed SRAM bits (simulated fault injection on the digit
+benchmark)."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import run_fig5
+
+
+def test_fig05_mat_sweep(benchmark, capsys, prepared_benchmarks):
+    """Sweep the fault proportion and compare naive vs memory-adaptive error."""
+
+    def run():
+        return run_fig5(
+            fault_rates=(0.005, 0.01, 0.02, 0.05, 0.10, 0.30, 0.50),
+            adaptive_epochs=50,
+            prepared=prepared_benchmarks["mnist"],
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(capsys, result.to_experiment_result().to_text())
+
+    # Shape assertions: MAT recovers a large part of the fault-induced error
+    # in the small/moderate fault-rate regime (the operating region of the
+    # voltage-scaling experiments).
+    for point in result.points:
+        if point.fault_rate <= 0.05:
+            assert point.adaptive_error <= point.naive_error + 0.02
+    low_rate = result.points[1]  # 1% failed bits
+    assert low_rate.naive_error - low_rate.adaptive_error > 0.03

@@ -1,0 +1,31 @@
+"""Regenerate Fig. 9a — measured SRAM read-failure rate versus supply voltage
+at room temperature, on a 9 KB weight-SRAM-sized bank."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import report
+
+from repro.experiments import run_fig9a
+
+
+def test_fig09a_sram_failure_rate(benchmark, capsys):
+    """Profile the modelled SRAM across the paper's voltage sweep."""
+
+    def run():
+        return run_fig9a(voltages=np.arange(0.40, 0.561, 0.01))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(capsys, result.to_experiment_result().to_text())
+
+    by_voltage = {round(p.voltage, 2): p for p in result.points}
+    # first failures appear around 0.53 V ...
+    assert by_voltage[0.53].measured_rate < 1e-3
+    assert by_voltage[0.56].measured_rate == 0.0
+    # ... the word-level incidence at the 0.50 V MEP is ~28% ...
+    assert 0.20 < by_voltage[0.50].word_rate < 0.40
+    # ... and essentially everything fails by 0.40 V.
+    assert by_voltage[0.40].measured_rate > 0.9
+    # the measured curve is monotone in voltage
+    rates = [p.measured_rate for p in sorted(result.points, key=lambda p: p.voltage)]
+    assert all(a >= b for a, b in zip(rates, rates[1:]))

@@ -1,0 +1,31 @@
+"""Regenerate Fig. 9b — topology selection: application error versus model
+size, used to pick compact topologies that avoid biased
+over-parameterization."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import run_fig9b
+
+
+def test_fig09b_topology_selection(benchmark, capsys):
+    """Sweep hidden-layer width on the digit benchmark."""
+
+    def run():
+        return run_fig9b(
+            benchmark="mnist", hidden_widths=(4, 8, 16, 32, 64), epochs=40
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(capsys, result.to_experiment_result().to_text())
+
+    errors = {p.topology.split("-")[1]: p.test_error for p in result.points}
+    # accuracy saturates around the paper-selected width: the selected
+    # 32-hidden-unit model is much better than a tiny 4-unit model, while
+    # doubling to 64 units buys little additional accuracy.
+    assert errors["32"] < errors["4"]
+    assert errors["64"] > errors["32"] - 0.05
+    # parameter counts grow monotonically with width
+    params = [p.num_parameters for p in result.points]
+    assert params == sorted(params)

@@ -1,0 +1,35 @@
+"""Regenerate Fig. 10 — application error versus SRAM voltage for all four
+benchmarks, naive hardware versus MATIC, measured on the accelerator model."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import run_fig10
+
+
+def test_fig10_error_vs_voltage(benchmark, capsys, prepared_benchmarks):
+    """Sweep SRAM voltage on every benchmark, naive vs memory-adaptive."""
+
+    def run():
+        return run_fig10(
+            benchmarks=("mnist", "facedet", "inversek2j", "bscholes"),
+            voltages=(0.90, 0.53, 0.51, 0.50, 0.48, 0.46),
+            adaptive_epochs=60,
+            prepared_benchmarks=prepared_benchmarks,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(capsys, result.to_experiment_result().to_text())
+
+    for sweep in result.sweeps:
+        nominal = sweep.point_at(0.90)
+        overscaled = [p for p in sweep.points if p.voltage < 0.54]
+        # somewhere in the overscaled range the naive model collapses well
+        # past its nominal error ...
+        assert max(p.naive_error for p in overscaled) > nominal.naive_error * 1.5
+        # ... while the memory-adaptive model's average error increase stays
+        # well below the naive model's (the Table I relationship)
+        assert sweep.average_error_increase("adaptive") < sweep.average_error_increase("naive")
+        point_050 = sweep.point_at(0.50)
+        assert point_050.adaptive_error < point_050.naive_error

@@ -1,0 +1,24 @@
+"""Regenerate Fig. 11 — per-cycle energy breakdown (leakage/dynamic, logic and
+weight SRAM) at the nominal and MATIC-enabled operating points."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import run_fig11
+
+
+def test_fig11_energy_breakdown(benchmark, capsys):
+    """Recompute the energy decomposition from the calibrated chip model."""
+
+    result = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    report(capsys, result.to_experiment_result().to_text())
+
+    # nominal total matches the test chip's 67.1 pJ/cycle characteristic
+    assert abs(result.nominal.total - 67.08) < 1.0
+    # headline reductions: ~5.1x SRAM, ~2.4x logic
+    assert 4.0 < result.sram_reduction < 6.0
+    assert 2.0 < result.logic_reduction < 3.0
+    # leakage is a small but non-zero fraction at both points
+    assert 0.0 < result.nominal.leakage_total < result.nominal.dynamic_total
+    assert 0.0 < result.optimized.leakage_total < result.optimized.dynamic_total

@@ -1,0 +1,37 @@
+"""Regenerate Table I — application error at the nominal, energy-optimal
+(0.50 V) and aggressive (0.46 V) SRAM voltages for the four benchmarks, plus
+the AEI-reduction summary."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import report
+
+from repro.experiments import run_fig10, run_table1
+
+
+def test_table1_application_error(benchmark, capsys, prepared_benchmarks):
+    """Regenerate the Table I rows (reusing a single Fig. 10-style sweep)."""
+
+    def run():
+        sweep = run_fig10(
+            benchmarks=("mnist", "facedet", "inversek2j", "bscholes"),
+            voltages=(0.90, 0.53, 0.52, 0.51, 0.50, 0.48, 0.46),
+            adaptive_epochs=60,
+            prepared_benchmarks=prepared_benchmarks,
+        )
+        return run_table1(sweep=sweep)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(capsys, result.to_experiment_result().to_text())
+
+    # Every benchmark must show the paper's qualitative result: the naive
+    # hardware's average error increase is much larger than the adaptive
+    # model's, so the AEI-reduction factor is comfortably above 1.
+    for row in result.rows:
+        assert row.naive_aei > row.adaptive_aei
+        assert row.aei_reduction > 1.5
+        # MATIC keeps the energy-optimal (0.50 V) error well below the naive
+        assert row.adaptive_050 < row.naive_050
+    assert result.average_aei_reduction > 2.0
+    assert np.isfinite(result.average_aei_reduction)

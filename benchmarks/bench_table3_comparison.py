@@ -1,0 +1,30 @@
+"""Regenerate Table III — comparison of SNNAC (nominal and with MATIC) against
+prior DNN accelerators."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import run_table3
+
+
+def test_table3_comparison(benchmark, capsys):
+    """Recompute the SNNAC rows of the comparison table from the simulator."""
+
+    result = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    report(capsys, result.to_experiment_result().to_text())
+
+    nominal = result.snnac_nominal
+    matic = result.snnac_matic
+    # MATIC improves energy efficiency by roughly the 3.3x joint-scaling
+    # factor over the nominal configuration
+    ratio = matic.efficiency_gops_per_w / nominal.efficiency_gops_per_w
+    assert 2.5 < ratio < 4.5
+    # the low-power operating point sits well under a milliwatt, like the
+    # paper's 0.37 mW figure
+    assert matic.power_mw < 1.0
+    # SNNAC+MATIC is competitive with the fully-connected prior work rows
+    fully_connected = [
+        row for row in result.prior_work if row.dnn_type == "Fully-connected"
+    ]
+    assert matic.efficiency_gops_per_w > min(r.efficiency_gops_per_w for r in fully_connected)

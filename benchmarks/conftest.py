@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure from the paper's evaluation
+and prints the regenerated rows next to the paper's reported values.  The
+heavyweight artifacts (trained float baselines) are cached per session so
+that benchmarks sharing a benchmark dataset do not retrain them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import prepare_benchmark
+
+
+@pytest.fixture(scope="session")
+def prepared_benchmarks():
+    """Float baselines and data splits for all four application benchmarks."""
+    return {
+        name: prepare_benchmark(name, seed=1)
+        for name in ("mnist", "facedet", "inversek2j", "bscholes")
+    }
+
+
+def report(capsys, text: str) -> None:
+    """Print a regenerated table so it appears in the pytest output."""
+    with capsys.disabled():
+        print()
+        print(text)
+        print()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Approximate-computing workloads on the low-voltage accelerator.
+
+The paper's two AxBench-style benchmarks — 2-joint inverse kinematics and
+Black–Scholes option pricing — are regression kernels approximated by small
+DNNs.  This example deploys both with the MATIC flow at the energy-optimal
+0.50 V SRAM voltage and reports the output quality (MSE) alongside the energy
+per approximated function call.
+
+Run with:  python examples/approximate_computing.py
+"""
+
+from __future__ import annotations
+
+from repro.accelerator import OperatingPoint
+from repro.experiments import default_flow, make_chip, prepare_benchmark
+
+ENERGY_OPTIMAL = OperatingPoint(0.55, 0.50, 17.8e6, name="EnOpt_split")
+
+
+def main() -> None:
+    flow = default_flow(epochs=60, seed=1)
+    print(f"{'kernel':>12}  {'topology':>9}  {'float MSE':>10}  {'naive MSE':>10}  "
+          f"{'MATIC MSE':>10}  {'nJ/call':>8}")
+
+    for name in ("inversek2j", "bscholes"):
+        prepared = prepare_benchmark(name, seed=1)
+        spec = prepared.spec
+
+        chip = make_chip(seed=11)
+        naive = flow.deploy_naive(
+            chip, spec.topology, prepared.train, target_voltage=0.50,
+            loss=spec.loss, initial_network=prepared.baseline,
+        )
+        naive_mse = spec.error(naive.run_at(prepared.test.inputs), prepared.test)
+
+        chip = make_chip(seed=11)
+        adaptive = flow.deploy_adaptive(
+            chip, spec.topology, prepared.train, target_voltage=0.50,
+            loss=spec.loss, initial_network=prepared.baseline,
+            select_canaries=False,
+        )
+        matic_mse = spec.error(adaptive.run_at(prepared.test.inputs), prepared.test)
+
+        cycles = adaptive.program.total_cycles_per_inference
+        energy_nj = cycles * chip.energy_model.energy_per_cycle(ENERGY_OPTIMAL) / 1e3
+        print(f"{name:>12}  {spec.topology:>9}  {prepared.baseline_error:>10.4f}  "
+              f"{naive_mse:>10.4f}  {matic_mse:>10.4f}  {energy_nj:>8.2f}")
+
+    print("\nMATIC keeps the approximation quality near the float baseline while the")
+    print("weight memories run 400 mV below their rated voltage.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Energy-efficiency scenarios enabled by MATIC's SRAM voltage scaling.
+
+Uses the calibrated SNNAC energy/frequency model to explore the three
+operating scenarios of the paper's Table II (HighPerf, EnOpt_split,
+EnOpt_joint), and reports energy per cycle, power, and efficiency for a
+deployed digit-recognition model.
+
+Run with:  python examples/energy_optimization.py
+"""
+
+from __future__ import annotations
+
+from repro.accelerator import NOMINAL_OPERATING_POINT
+from repro.experiments import make_chip, prepare_benchmark, run_table2
+from repro.quant import WeightQuantizer
+
+
+def main() -> None:
+    # chip + deployed model (provides cycle and MAC counts for GOPS figures)
+    prepared = prepare_benchmark("mnist", seed=1, epochs=5)
+    chip = make_chip(seed=11)
+    chip.deploy(prepared.baseline, WeightQuantizer(total_bits=16, frac_bits=13))
+    program = chip.npu.program
+    print(f"deployed {prepared.spec.topology}: "
+          f"{program.total_cycles_per_inference} cycles / inference, "
+          f"{program.total_macs_per_inference} MACs / inference\n")
+
+    table2 = run_table2(energy_model=chip.energy_model)
+    nominal_energy = chip.energy_model.energy_per_cycle(NOMINAL_OPERATING_POINT)
+    print(f"nominal: 0.90/0.90 V @ 250.0 MHz -> {nominal_energy:6.2f} pJ/cycle, "
+          f"{chip.efficiency_gops_per_watt(NOMINAL_OPERATING_POINT):6.1f} GOPS/W")
+
+    for scenario in table2.scenarios:
+        point = scenario.matic_point
+        print(f"{scenario.name:>11}: {point.logic_voltage:.2f}/{point.sram_voltage:.2f} V "
+              f"@ {point.frequency / 1e6:5.1f} MHz -> {scenario.matic_energy:6.2f} pJ/cycle, "
+              f"{chip.efficiency_gops_per_watt(point):6.1f} GOPS/W  "
+              f"({scenario.reduction:.1f}x vs its baseline)")
+
+    best = min(table2.scenarios, key=lambda s: s.matic_energy)
+    energy_per_inference = (
+        best.matic_energy * program.total_cycles_per_inference / 1e3
+    )
+    print(f"\nmost efficient configuration: {best.name} "
+          f"({energy_per_inference:.1f} nJ per inference)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Full MATIC flow on the accelerator model: digit recognition at low voltage.
+
+This example exercises the complete hardware path the paper evaluates:
+
+* instantiate an SNNAC chip model (its weight SRAMs carry sampled
+  bit-cell variation),
+* train a float baseline, deploy it naively, and measure its on-chip error
+  while the SRAM rail is overscaled, then
+* run the MATIC flow — profile the chip at the target voltage, train around
+  the profiled faults, redeploy — and measure again.
+
+Run with:  python examples/mnist_voltage_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets import get_benchmark
+from repro.experiments import default_flow, make_chip, prepare_benchmark
+
+
+def main() -> None:
+    target_voltages = (0.53, 0.50, 0.48, 0.46)
+
+    prepared = prepare_benchmark("mnist", seed=1)
+    spec = prepared.spec
+    print(f"benchmark: {spec.name} ({spec.topology}), "
+          f"float baseline error {prepared.baseline_error:.1%}\n")
+
+    flow = default_flow(epochs=60, seed=1)
+    print(f"{'SRAM voltage':>12}  {'bit fault rate':>14}  {'naive':>8}  {'MATIC':>8}")
+    for voltage in target_voltages:
+        chip = make_chip(seed=11)
+        naive = flow.deploy_naive(
+            chip, spec.topology, prepared.train,
+            target_voltage=voltage, loss=spec.loss,
+            initial_network=prepared.baseline,
+        )
+        naive_error = spec.error(naive.run_at(prepared.test.inputs), prepared.test)
+
+        chip = make_chip(seed=11)  # same die statistics, fresh state
+        adaptive = flow.deploy_adaptive(
+            chip, spec.topology, prepared.train,
+            target_voltage=voltage, loss=spec.loss,
+            initial_network=prepared.baseline, select_canaries=False,
+        )
+        adaptive_error = spec.error(adaptive.run_at(prepared.test.inputs), prepared.test)
+        fault_rate = sum(m.fault_rate for m in adaptive.fault_maps) / len(adaptive.fault_maps)
+
+        print(f"{voltage:>11.2f}V  {fault_rate:>13.2%}  "
+              f"{naive_error:>8.1%}  {adaptive_error:>8.1%}")
+
+    print("\nThe naive deployment collapses as soon as read failures appear, while")
+    print("the memory-adaptive model holds usable accuracy deep into overscaling.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""MATIC reproduction: memory-adaptive training and in-situ canaries for
+low-voltage DNN accelerators.
+
+Reproduction of Kim et al., "MATIC: Learning Around Errors for Efficient
+Low-Voltage Neural Network Accelerators" (DATE 2018), including the
+substrates the paper depends on: a fully-connected DNN framework, a
+fixed-point quantization layer, a voltage-scalable SRAM model, and a
+simulator of the SNNAC accelerator with its calibrated energy model.
+
+Subpackages
+-----------
+``repro.nn``
+    Pure-numpy fully-connected DNN framework (layers, losses, optimizers,
+    trainer, metrics).
+``repro.quant``
+    Fixed-point formats and weight quantization.
+``repro.sram``
+    6T bit-cell variation, voltage-scalable SRAM banks, fault maps,
+    profiling, regulators, environmental variation.
+``repro.accelerator``
+    SNNAC simulator: PEs, systolic ring, AFU, microcode compiler, NPU, SoC,
+    energy/frequency models.
+``repro.matic``
+    The paper's contribution: injection masking, memory-adaptive training,
+    in-situ canaries, and the end-to-end flow.
+``repro.datasets``
+    The four application benchmarks of Table I.
+``repro.experiments``
+    Drivers that regenerate every table and figure of the evaluation.
+"""
+
+from . import accelerator, datasets, matic, nn, quant, sram
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "quant",
+    "sram",
+    "accelerator",
+    "matic",
+    "datasets",
+    "__version__",
+]

@@ -1,0 +1,56 @@
+"""SNNAC accelerator simulator: PEs, systolic ring, AFU, microcode compiler,
+NPU, SoC wrapper, and the calibrated energy/frequency models."""
+
+from .afu import ActivationFunctionUnit, PiecewiseLinearFunction
+from .energy import (
+    NOMINAL_OPERATING_POINT,
+    PAPER_LOGIC_ANCHORS,
+    PAPER_SRAM_ANCHORS,
+    EnergyBreakdown,
+    FrequencyModel,
+    LogicEnergyModel,
+    OperatingPoint,
+    SnnacEnergyModel,
+    SramEnergyModel,
+)
+from .microcode import (
+    LayerPlacement,
+    LayerProgram,
+    MicrocodeCompiler,
+    NeuronPlacement,
+    NpuProgram,
+    WeightPlacement,
+)
+from .npu import InferenceStats, Npu
+from .pe import ProcessingElement
+from .soc import CHIP_CHARACTERISTICS, Microcontroller, Snnac, SnnacConfig
+from .systolic import LayerExecutionStats, SystolicRing
+
+__all__ = [
+    "ActivationFunctionUnit",
+    "PiecewiseLinearFunction",
+    "EnergyBreakdown",
+    "FrequencyModel",
+    "LogicEnergyModel",
+    "SramEnergyModel",
+    "SnnacEnergyModel",
+    "OperatingPoint",
+    "NOMINAL_OPERATING_POINT",
+    "PAPER_LOGIC_ANCHORS",
+    "PAPER_SRAM_ANCHORS",
+    "NeuronPlacement",
+    "LayerPlacement",
+    "WeightPlacement",
+    "LayerProgram",
+    "NpuProgram",
+    "MicrocodeCompiler",
+    "InferenceStats",
+    "Npu",
+    "ProcessingElement",
+    "SystolicRing",
+    "LayerExecutionStats",
+    "Microcontroller",
+    "Snnac",
+    "SnnacConfig",
+    "CHIP_CHARACTERISTICS",
+]

@@ -1,0 +1,315 @@
+"""Model compilation: mapping a DNN onto SNNAC's PEs and weight SRAMs.
+
+SNNAC executes statically compiled microcode: each DNN layer becomes a
+sequence of time-multiplexed inner-product passes over the eight processing
+elements, and every synaptic weight is assigned a home location (PE index,
+SRAM word address) in one of the per-PE weight banks.
+
+The :class:`MicrocodeCompiler` performs that mapping for the pure-numpy
+:class:`~repro.nn.network.Network` models used in this reproduction:
+
+* output neurons of a layer are distributed round-robin across PEs (neuron
+  ``k`` lives on PE ``k mod 8``), and
+* each neuron's parameters occupy a contiguous address range in its PE's
+  bank: the bias word followed by the ``fan_in`` weight words.
+
+The resulting :class:`WeightPlacement` is shared by the accelerator (to load
+and read weights) and by MATIC (to translate per-bank SRAM fault maps into
+per-layer injection masks aligned with the weight matrices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.network import Network
+from ..quant.quantizer import LayerQuantization, QuantizedWeights, WeightQuantizer
+from ..sram.array import WeightMemorySystem
+from ..sram.fault_map import FaultMap
+
+__all__ = [
+    "NeuronPlacement",
+    "LayerPlacement",
+    "WeightPlacement",
+    "LayerProgram",
+    "NpuProgram",
+    "MicrocodeCompiler",
+]
+
+
+@dataclass(frozen=True)
+class NeuronPlacement:
+    """Home location of one output neuron's parameters."""
+
+    layer: int
+    neuron: int
+    pe: int
+    #: SRAM address of the bias word; weights follow at base+1 .. base+fan_in
+    base_address: int
+    fan_in: int
+
+    @property
+    def bias_address(self) -> int:
+        return self.base_address
+
+    def weight_address(self, input_index: int) -> int:
+        """Address of the weight from ``input_index`` to this neuron."""
+        if not 0 <= input_index < self.fan_in:
+            raise IndexError("input index out of range")
+        return self.base_address + 1 + input_index
+
+
+@dataclass
+class LayerPlacement:
+    """Placement of all neurons of one layer."""
+
+    layer: int
+    in_features: int
+    out_features: int
+    neurons: list[NeuronPlacement] = field(default_factory=list)
+
+    def neuron(self, index: int) -> NeuronPlacement:
+        return self.neurons[index]
+
+
+class WeightPlacement:
+    """Mapping between network parameters and weight-SRAM locations."""
+
+    def __init__(
+        self,
+        widths: tuple[int, ...],
+        num_pes: int,
+        words_per_bank: int,
+    ) -> None:
+        if num_pes <= 0 or words_per_bank <= 0:
+            raise ValueError("num_pes and words_per_bank must be positive")
+        self.widths = tuple(int(w) for w in widths)
+        self.num_pes = int(num_pes)
+        self.words_per_bank = int(words_per_bank)
+        self.layers: list[LayerPlacement] = []
+        self._allocate()
+
+    def _allocate(self) -> None:
+        next_free = [0] * self.num_pes
+        for layer_index, (fan_in, fan_out) in enumerate(
+            zip(self.widths[:-1], self.widths[1:])
+        ):
+            layer = LayerPlacement(layer_index, fan_in, fan_out)
+            for neuron in range(fan_out):
+                pe = neuron % self.num_pes
+                base = next_free[pe]
+                required = fan_in + 1  # bias + weights
+                if base + required > self.words_per_bank:
+                    raise ValueError(
+                        f"model does not fit: PE {pe} needs {base + required} words, "
+                        f"bank holds {self.words_per_bank}"
+                    )
+                layer.neurons.append(
+                    NeuronPlacement(layer_index, neuron, pe, base, fan_in)
+                )
+                next_free[pe] = base + required
+            self.layers.append(layer)
+        self.words_used_per_pe = list(next_free)
+
+    # ------------------------------------------------------------ storage
+
+    def store(self, memory: WeightMemorySystem, quantized: QuantizedWeights) -> None:
+        """Write a quantized model into the per-PE weight banks."""
+        self._check_memory(memory)
+        if len(quantized.weight_words) != len(self.layers):
+            raise ValueError("quantized model has a different number of layers")
+        for layer, weight_words, bias_words in zip(
+            self.layers, quantized.weight_words, quantized.bias_words
+        ):
+            if weight_words.shape != (layer.in_features, layer.out_features):
+                raise ValueError("quantized weight shape does not match placement")
+            for placement in layer.neurons:
+                bank = memory[placement.pe]
+                addresses = np.arange(
+                    placement.base_address, placement.base_address + placement.fan_in + 1
+                )
+                words = np.concatenate(
+                    [
+                        [bias_words[placement.neuron]],
+                        weight_words[:, placement.neuron],
+                    ]
+                ).astype(np.uint64)
+                bank.write(addresses, words)
+
+    def load_layer_words(
+        self,
+        memory: WeightMemorySystem,
+        layer_index: int,
+        voltage: float,
+        temperature: float = 25.0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Read one layer's parameters back from SRAM at an operating point.
+
+        Returns ``(weight_words, bias_words)`` shaped like the layer's weight
+        matrix and bias vector.  Reads go through the behavioural SRAM model,
+        so voltage-overscaled reads return (and persist) corrupted words.
+        """
+        self._check_memory(memory)
+        layer = self.layers[layer_index]
+        weight_words = np.zeros((layer.in_features, layer.out_features), dtype=np.uint64)
+        bias_words = np.zeros(layer.out_features, dtype=np.uint64)
+        for placement in layer.neurons:
+            bank = memory[placement.pe]
+            addresses = np.arange(
+                placement.base_address, placement.base_address + placement.fan_in + 1
+            )
+            words = bank.read(addresses, voltage=voltage, temperature=temperature)
+            bias_words[placement.neuron] = words[0]
+            weight_words[:, placement.neuron] = words[1:]
+        return weight_words, bias_words
+
+    def _check_memory(self, memory: WeightMemorySystem) -> None:
+        if len(memory) < self.num_pes:
+            raise ValueError(
+                f"placement expects {self.num_pes} banks, memory has {len(memory)}"
+            )
+        for pe, used in enumerate(self.words_used_per_pe):
+            if used > memory[pe].num_words:
+                raise ValueError(
+                    f"PE {pe} bank too small: needs {used} words, has {memory[pe].num_words}"
+                )
+
+    # -------------------------------------------------------- fault masks
+
+    def layer_fault_masks(
+        self, fault_maps: list[FaultMap], layer_index: int, word_bits: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Translate per-bank fault maps into per-layer injection masks.
+
+        Returns ``(weight_and, weight_or, bias_and, bias_or)`` where the
+        weight masks have the layer's ``(in_features, out_features)`` shape
+        and the bias masks have shape ``(out_features,)``.  Applying
+        ``(word & and) | or`` reproduces exactly the corruption the SRAM
+        would inflict at the profiled operating point.
+        """
+        if len(fault_maps) < self.num_pes:
+            raise ValueError(
+                f"expected {self.num_pes} fault maps, got {len(fault_maps)}"
+            )
+        full = np.uint64((1 << word_bits) - 1)
+        layer = self.layers[layer_index]
+        weight_and = np.full((layer.in_features, layer.out_features), full, dtype=np.uint64)
+        weight_or = np.zeros((layer.in_features, layer.out_features), dtype=np.uint64)
+        bias_and = np.full(layer.out_features, full, dtype=np.uint64)
+        bias_or = np.zeros(layer.out_features, dtype=np.uint64)
+
+        bank_masks = [fault_map.masks() for fault_map in fault_maps]
+        for placement in layer.neurons:
+            and_masks, or_masks = bank_masks[placement.pe]
+            bias_and[placement.neuron] = and_masks[placement.bias_address] & full
+            bias_or[placement.neuron] = or_masks[placement.bias_address] & full
+            addresses = np.arange(
+                placement.base_address + 1, placement.base_address + 1 + placement.fan_in
+            )
+            weight_and[:, placement.neuron] = and_masks[addresses] & full
+            weight_or[:, placement.neuron] = or_masks[addresses] & full
+        return weight_and, weight_or, bias_and, bias_or
+
+
+@dataclass
+class LayerProgram:
+    """Executable description of one layer on the NPU."""
+
+    layer_index: int
+    in_features: int
+    out_features: int
+    activation: str
+    quantization: LayerQuantization
+    #: number of time-multiplexed passes over the PE ring
+    passes: int
+    #: estimated cycles to execute the layer once (see MicrocodeCompiler)
+    cycles: int
+    #: multiply-accumulate operations in the layer
+    macs: int
+
+
+@dataclass
+class NpuProgram:
+    """A compiled model: placement plus the per-layer execution schedule."""
+
+    topology: tuple[int, ...]
+    placement: WeightPlacement
+    layers: list[LayerProgram]
+    word_bits: int
+
+    @property
+    def total_cycles_per_inference(self) -> int:
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def total_macs_per_inference(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_weight_words(self) -> int:
+        return sum((l.in_features + 1) * l.out_features for l in self.layers)
+
+
+class MicrocodeCompiler:
+    """Compile a :class:`~repro.nn.network.Network` into an NPU program.
+
+    Parameters
+    ----------
+    num_pes:
+        Number of processing elements in the systolic ring (8 for SNNAC).
+    words_per_bank:
+        Capacity of each PE's weight SRAM, in words.
+    pipeline_overhead:
+        Fixed per-pass cycle overhead (weight fetch setup, accumulator
+        drain, AFU latency).
+    """
+
+    def __init__(
+        self,
+        num_pes: int = 8,
+        words_per_bank: int = 512,
+        pipeline_overhead: int = 4,
+    ) -> None:
+        if num_pes <= 0:
+            raise ValueError("num_pes must be positive")
+        if words_per_bank <= 0:
+            raise ValueError("words_per_bank must be positive")
+        if pipeline_overhead < 0:
+            raise ValueError("pipeline_overhead must be non-negative")
+        self.num_pes = int(num_pes)
+        self.words_per_bank = int(words_per_bank)
+        self.pipeline_overhead = int(pipeline_overhead)
+
+    def compile(self, network: Network, quantizer: WeightQuantizer) -> NpuProgram:
+        """Produce placement, per-layer formats, and the execution schedule."""
+        placement = WeightPlacement(network.widths, self.num_pes, self.words_per_bank)
+        formats = quantizer.layer_formats(network)
+        layers: list[LayerProgram] = []
+        for index, (layer, fmt) in enumerate(zip(network.layers, formats)):
+            in_features = layer.in_features
+            out_features = layer.out_features
+            passes = int(np.ceil(out_features / self.num_pes))
+            # each pass streams the input vector through the ring once; every
+            # cycle each active PE performs one MAC
+            cycles = passes * (in_features + 1 + self.pipeline_overhead)
+            macs = in_features * out_features
+            layers.append(
+                LayerProgram(
+                    layer_index=index,
+                    in_features=in_features,
+                    out_features=out_features,
+                    activation=layer.activation.name,
+                    quantization=fmt,
+                    passes=passes,
+                    cycles=cycles,
+                    macs=macs,
+                )
+            )
+        return NpuProgram(
+            topology=network.widths,
+            placement=placement,
+            layers=layers,
+            word_bits=quantizer.total_bits,
+        )

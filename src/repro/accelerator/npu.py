@@ -1,0 +1,157 @@
+"""The Neural Processing Unit: compiled-model execution on the PE ring.
+
+The NPU owns a compiled :class:`~repro.accelerator.microcode.NpuProgram`,
+the per-PE weight memory system, the systolic ring, and the activation
+function unit.  Its :meth:`run` method performs end-to-end inference at a
+requested SRAM operating point, which is the accelerator-side primitive every
+application-error experiment in the paper is built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.network import Network
+from ..quant.fixed_point import FixedPointFormat
+from ..quant.quantizer import QuantizedWeights, WeightQuantizer
+from ..sram.array import WeightMemorySystem
+from .afu import ActivationFunctionUnit
+from .microcode import MicrocodeCompiler, NpuProgram
+from .systolic import LayerExecutionStats, SystolicRing
+
+__all__ = ["InferenceStats", "Npu"]
+
+
+@dataclass
+class InferenceStats:
+    """Aggregate execution statistics for one :meth:`Npu.run` call."""
+
+    batch_size: int = 0
+    cycles: int = 0
+    macs: int = 0
+    sram_reads: int = 0
+    layer_stats: list[LayerExecutionStats] = field(default_factory=list)
+
+    @property
+    def cycles_per_inference(self) -> float:
+        return self.cycles / self.batch_size if self.batch_size else 0.0
+
+
+class Npu:
+    """SNNAC's neural processing unit.
+
+    Parameters
+    ----------
+    memory:
+        Per-PE weight SRAM banks.
+    afu:
+        Activation function unit (piecewise-linear approximations).
+    data_format:
+        Fixed-point format of the activation datapath.
+    pipeline_overhead:
+        Per-pass cycle overhead, forwarded to the compiler and the ring.
+    """
+
+    def __init__(
+        self,
+        memory: WeightMemorySystem,
+        afu: ActivationFunctionUnit | None = None,
+        data_format: FixedPointFormat | None = None,
+        pipeline_overhead: int = 4,
+    ) -> None:
+        self.memory = memory
+        self.afu = afu or ActivationFunctionUnit()
+        self.data_format = data_format or FixedPointFormat(16, 12)
+        self.pipeline_overhead = int(pipeline_overhead)
+        self.ring = SystolicRing(
+            memory, data_format=self.data_format, pipeline_overhead=self.pipeline_overhead
+        )
+        self.program: NpuProgram | None = None
+        self._stored_words: QuantizedWeights | None = None
+
+    # --------------------------------------------------------- deployment
+
+    def deploy(self, network: Network, quantizer: WeightQuantizer) -> NpuProgram:
+        """Compile ``network`` and load its quantized weights into SRAM."""
+        compiler = MicrocodeCompiler(
+            num_pes=len(self.memory),
+            words_per_bank=min(bank.num_words for bank in self.memory),
+            pipeline_overhead=self.pipeline_overhead,
+        )
+        program = compiler.compile(network, quantizer)
+        quantized = quantizer.quantize_network(network)
+        program.placement.store(self.memory, quantized)
+        self.program = program
+        self._stored_words = quantized
+        return program
+
+    def deploy_quantized(self, program: NpuProgram, quantized: QuantizedWeights) -> None:
+        """Load an already-compiled program and quantized weights."""
+        program.placement.store(self.memory, quantized)
+        self.program = program
+        self._stored_words = quantized
+
+    def refresh_weights(self) -> None:
+        """Rewrite the deployed weights into SRAM.
+
+        Models the runtime controller restoring weight state (for instance
+        after an aggressive voltage excursion disturbed cells that the
+        deployed fault map did not account for).
+        """
+        if self.program is None or self._stored_words is None:
+            raise RuntimeError("no model deployed")
+        self.program.placement.store(self.memory, self._stored_words)
+
+    # ---------------------------------------------------------- inference
+
+    def run(
+        self,
+        inputs: np.ndarray,
+        sram_voltage: float = 0.9,
+        temperature: float = 25.0,
+        collect_stats: bool = True,
+    ) -> tuple[np.ndarray, InferenceStats]:
+        """Run inference on a batch at the given SRAM operating point.
+
+        Returns ``(outputs, stats)``.  The input batch is quantized to the
+        data format at the NPU boundary (the paper's µC writes fixed-point
+        inputs into memory-mapped buffers).
+        """
+        if self.program is None:
+            raise RuntimeError("no model deployed; call deploy() first")
+        activations = self.data_format.quantize(np.asarray(inputs, dtype=float))
+        if activations.ndim == 1:
+            activations = activations.reshape(1, -1)
+        stats = InferenceStats(batch_size=activations.shape[0])
+
+        for layer_program in self.program.layers:
+            pre_activation, layer_stats = self.ring.compute_layer(
+                activations,
+                layer_program,
+                self.program.placement,
+                voltage=sram_voltage,
+                temperature=temperature,
+            )
+            activations = self.afu.apply(layer_program.activation, pre_activation)
+            activations = self.data_format.quantize(activations)
+            if collect_stats:
+                stats.layer_stats.append(layer_stats)
+                stats.cycles += layer_stats.cycles
+                stats.macs += layer_stats.macs
+                stats.sram_reads += layer_stats.sram_reads
+
+        return activations, stats
+
+    def predict(
+        self,
+        inputs: np.ndarray,
+        sram_voltage: float = 0.9,
+        temperature: float = 25.0,
+    ) -> np.ndarray:
+        """Inference returning outputs only."""
+        outputs, _ = self.run(
+            inputs, sram_voltage=sram_voltage, temperature=temperature, collect_stats=False
+        )
+        return outputs

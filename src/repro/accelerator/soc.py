@@ -1,0 +1,231 @@
+"""SNNAC system-on-chip model.
+
+Ties together the subsystems the test chip integrates (Fig. 8 of the paper):
+the NPU (PE ring + AFU + weight SRAMs), the supply regulators for the two
+voltage domains, a behavioural stand-in for the OpenMSP430 runtime
+microcontroller, the environmental conditions the chip sits in, and the
+calibrated energy model.  The MATIC deployment flow and the in-situ canary
+controller operate on this object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.network import Network
+from ..quant.fixed_point import FixedPointFormat
+from ..quant.quantizer import WeightQuantizer
+from ..sram import calibration
+from ..sram.array import WeightMemorySystem
+from ..sram.bitcell import BitcellVariationModel
+from ..sram.regulator import VoltageRegulator
+from ..sram.variation import EnvironmentalConditions
+from .afu import ActivationFunctionUnit
+from .energy import NOMINAL_OPERATING_POINT, OperatingPoint, SnnacEnergyModel
+from .npu import InferenceStats, Npu
+
+__all__ = ["SnnacConfig", "Microcontroller", "Snnac", "CHIP_CHARACTERISTICS"]
+
+
+#: Nominal characteristics of the fabricated SNNAC test chip (Fig. 7b),
+#: used by the Table III comparison benchmark.
+CHIP_CHARACTERISTICS = {
+    "technology": "TSMC GP 65 nm",
+    "core_area_mm2": 1.15 * 1.2,
+    "sram_kb": 9,
+    "nominal_voltage": 0.9,
+    "nominal_frequency_hz": 250.0e6,
+    "nominal_power_w": 16.8e-3,
+    "nominal_energy_per_cycle_pj": 67.1,
+    "num_pes": 8,
+}
+
+
+@dataclass
+class SnnacConfig:
+    """Configuration of the modelled accelerator instance."""
+
+    num_pes: int = 8
+    words_per_bank: int = 512
+    word_bits: int = 16
+    data_frac_bits: int = 12
+    pipeline_overhead: int = 4
+    seed: int | None = 0
+
+
+@dataclass
+class Microcontroller:
+    """Behavioural stand-in for the on-chip OpenMSP430 runtime controller.
+
+    The real core runs control firmware: it moves inference inputs/outputs
+    through memory-mapped buffers, sleeps between inferences, and wakes
+    periodically to execute the canary-based voltage-control routine.  Only
+    that scheduling behaviour matters to the methodology, so the model tracks
+    wake/sleep state and counts control invocations.
+    """
+
+    asleep: bool = True
+    wake_count: int = 0
+    control_routine_runs: int = 0
+    inference_requests: int = 0
+    log: list[str] = field(default_factory=list)
+
+    def wake(self, reason: str = "") -> None:
+        self.asleep = False
+        self.wake_count += 1
+        if reason:
+            self.log.append(f"wake: {reason}")
+
+    def sleep(self) -> None:
+        self.asleep = True
+
+    def record_control_run(self) -> None:
+        self.control_routine_runs += 1
+
+    def record_inference(self, count: int = 1) -> None:
+        self.inference_requests += int(count)
+
+
+class Snnac:
+    """The SNNAC accelerator SoC.
+
+    Parameters
+    ----------
+    config:
+        Geometry / datapath configuration.
+    variation_model:
+        Bit-cell variation model used to instantiate the weight SRAMs; each
+        constructed ``Snnac`` is one "chip instance" with its own sampled
+        variation (different seeds model different dies).
+    energy_model:
+        Calibrated chip energy model (defaults to the paper calibration).
+    environment:
+        Ambient conditions; mutable via :meth:`set_environment`.
+    """
+
+    def __init__(
+        self,
+        config: SnnacConfig | None = None,
+        variation_model: BitcellVariationModel | None = None,
+        energy_model: SnnacEnergyModel | None = None,
+        environment: EnvironmentalConditions | None = None,
+    ) -> None:
+        self.config = config or SnnacConfig()
+        self.memory = WeightMemorySystem.build(
+            num_banks=self.config.num_pes,
+            words_per_bank=self.config.words_per_bank,
+            word_bits=self.config.word_bits,
+            variation_model=variation_model,
+            seed=self.config.seed,
+        )
+        data_format = FixedPointFormat(self.config.word_bits, self.config.data_frac_bits)
+        self.npu = Npu(
+            self.memory,
+            afu=ActivationFunctionUnit(),
+            data_format=data_format,
+            pipeline_overhead=self.config.pipeline_overhead,
+        )
+        self.energy_model = energy_model or SnnacEnergyModel()
+        self.environment = environment or EnvironmentalConditions()
+        self.logic_regulator = VoltageRegulator(initial_voltage=0.9)
+        self.sram_regulator = VoltageRegulator(initial_voltage=0.9)
+        self.frequency = NOMINAL_OPERATING_POINT.frequency
+        self.mcu = Microcontroller()
+
+    # --------------------------------------------------------- deployment
+
+    def deploy(self, network: Network, quantizer: WeightQuantizer | None = None):
+        """Compile and load a model into the weight SRAMs at nominal voltage."""
+        quantizer = quantizer or WeightQuantizer(total_bits=self.config.word_bits)
+        self.mcu.wake("deploy model")
+        program = self.npu.deploy(network, quantizer)
+        self.mcu.sleep()
+        return program
+
+    # -------------------------------------------------------- environment
+
+    def set_environment(self, environment: EnvironmentalConditions) -> None:
+        """Change the ambient conditions (e.g. a temperature-chamber step)."""
+        self.environment = environment
+
+    @property
+    def temperature(self) -> float:
+        return self.environment.temperature
+
+    # ----------------------------------------------------- operating point
+
+    def set_operating_point(self, point: OperatingPoint) -> None:
+        """Program both supply rails and the clock to an operating point."""
+        self.logic_regulator.set_voltage(point.logic_voltage)
+        self.sram_regulator.set_voltage(point.sram_voltage)
+        self.frequency = point.frequency
+
+    @property
+    def operating_point(self) -> OperatingPoint:
+        return OperatingPoint(
+            logic_voltage=self.logic_regulator.voltage,
+            sram_voltage=self.sram_regulator.voltage,
+            frequency=self.frequency,
+        )
+
+    @property
+    def effective_sram_voltage(self) -> float:
+        """SRAM rail voltage including any static supply noise/IR drop."""
+        return self.sram_regulator.voltage + self.environment.supply_noise
+
+    # ---------------------------------------------------------- inference
+
+    def run_inference(self, inputs: np.ndarray) -> tuple[np.ndarray, InferenceStats]:
+        """Run a batch of inferences at the current operating point."""
+        self.mcu.wake("inference")
+        outputs, stats = self.npu.run(
+            inputs,
+            sram_voltage=self.effective_sram_voltage,
+            temperature=self.environment.temperature,
+        )
+        self.mcu.record_inference(stats.batch_size)
+        self.mcu.sleep()
+        return outputs, stats
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        outputs, _ = self.run_inference(inputs)
+        return outputs
+
+    def refresh_weights(self) -> None:
+        """Rewrite the deployed model into SRAM (used when changing operating points)."""
+        self.npu.refresh_weights()
+
+    # ------------------------------------------------------------- energy
+
+    def energy_per_inference(self, point: OperatingPoint | None = None) -> float:
+        """Energy per single inference in picojoules at an operating point."""
+        if self.npu.program is None:
+            raise RuntimeError("no model deployed")
+        point = point or self.operating_point
+        cycles = self.npu.program.total_cycles_per_inference
+        return cycles * self.energy_model.energy_per_cycle(point)
+
+    def throughput_gops(self, point: OperatingPoint | None = None) -> float:
+        """Throughput in GOPS (two ops per MAC) at an operating point."""
+        if self.npu.program is None:
+            raise RuntimeError("no model deployed")
+        point = point or self.operating_point
+        program = self.npu.program
+        ops_per_cycle = 2.0 * program.total_macs_per_inference / program.total_cycles_per_inference
+        return ops_per_cycle * point.frequency / 1e9
+
+    def efficiency_gops_per_watt(self, point: OperatingPoint | None = None) -> float:
+        """Energy efficiency in GOPS/W at an operating point (Table III metric)."""
+        point = point or self.operating_point
+        power = self.energy_model.power(point)
+        return self.throughput_gops(point) / power
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"Snnac({self.config.num_pes} PEs, "
+            f"{self.memory.total_bytes / 1024:.1f} KiB weight SRAM, "
+            f"logic={self.logic_regulator.voltage:.2f} V, "
+            f"sram={self.sram_regulator.voltage:.2f} V)"
+        )

@@ -1,0 +1,138 @@
+"""1-D systolic ring of processing elements.
+
+SNNAC's eight PEs form a one-dimensional systolic ring: input activations
+stream past the PEs, each PE accumulating the inner product for the output
+neuron currently assigned to it.  Layers wider than the ring are
+time-multiplexed over multiple passes, with partial results collected by an
+accumulator.
+
+The model executes the same arithmetic pass structure (and counts the same
+work) without simulating individual pipeline registers; accuracy-relevant
+behaviour — which SRAM words are read, in which order, with what fixed-point
+semantics — matches the real dataflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..quant.fixed_point import FixedPointFormat
+from ..sram.array import WeightMemorySystem
+from .microcode import LayerProgram, WeightPlacement
+from .pe import ProcessingElement
+
+__all__ = ["LayerExecutionStats", "SystolicRing"]
+
+
+@dataclass
+class LayerExecutionStats:
+    """Work performed while executing one layer on one input batch."""
+
+    layer_index: int
+    batch_size: int
+    passes: int
+    cycles: int
+    macs: int
+    sram_reads: int
+
+
+class SystolicRing:
+    """The PE ring plus its accumulator.
+
+    Parameters
+    ----------
+    memory:
+        Per-PE weight banks (one bank per PE).
+    data_format:
+        Fixed-point format of the activation datapath.
+    pipeline_overhead:
+        Per-pass overhead cycles (must match the compiler's assumption for
+        the cycle accounting to line up).
+    """
+
+    def __init__(
+        self,
+        memory: WeightMemorySystem,
+        data_format: FixedPointFormat | None = None,
+        pipeline_overhead: int = 4,
+    ) -> None:
+        self.memory = memory
+        self.data_format = data_format or FixedPointFormat(16, 12)
+        self.pipeline_overhead = int(pipeline_overhead)
+        self.pes = [
+            ProcessingElement(index, bank, data_format=self.data_format)
+            for index, bank in enumerate(memory)
+        ]
+
+    @property
+    def num_pes(self) -> int:
+        return len(self.pes)
+
+    # ------------------------------------------------------------------
+
+    def compute_layer(
+        self,
+        inputs: np.ndarray,
+        program: LayerProgram,
+        placement: WeightPlacement,
+        voltage: float,
+        temperature: float = 25.0,
+    ) -> tuple[np.ndarray, LayerExecutionStats]:
+        """Execute one layer on a batch of inputs.
+
+        Returns the pre-activation outputs, shape ``(batch, out_features)``,
+        plus execution statistics.  Weight words are fetched from the per-PE
+        SRAM banks at the requested operating point, so voltage overscaling
+        corrupts exactly the weights the fault map predicts.
+        """
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.ndim == 1:
+            inputs = inputs.reshape(1, -1)
+        if inputs.shape[1] != program.in_features:
+            raise ValueError(
+                f"layer expects {program.in_features} inputs, got {inputs.shape[1]}"
+            )
+        layer_placement = placement.layers[program.layer_index]
+        batch = inputs.shape[0]
+        outputs = np.zeros((batch, program.out_features), dtype=float)
+        reads_before = sum(bank.read_count for bank in self.memory)
+
+        weight_format = program.quantization.weight_format
+        bias_format = program.quantization.bias_format
+
+        passes = 0
+        for pass_start in range(0, program.out_features, self.num_pes):
+            passes += 1
+            pass_neurons = range(
+                pass_start, min(pass_start + self.num_pes, program.out_features)
+            )
+            for neuron_index in pass_neurons:
+                neuron = layer_placement.neuron(neuron_index)
+                pe = self.pes[neuron.pe]
+                weights, bias = pe.fetch_neuron_parameters(
+                    neuron.base_address,
+                    neuron.fan_in,
+                    weight_format,
+                    bias_format,
+                    voltage=voltage,
+                    temperature=temperature,
+                )
+                outputs[:, neuron_index] = pe.mac_batch(inputs, weights, bias)
+
+        sram_reads = sum(bank.read_count for bank in self.memory) - reads_before
+        cycles = passes * (program.in_features + 1 + self.pipeline_overhead)
+        stats = LayerExecutionStats(
+            layer_index=program.layer_index,
+            batch_size=batch,
+            passes=passes,
+            cycles=cycles,
+            macs=program.in_features * program.out_features * batch,
+            sram_reads=sram_reads,
+        )
+        return outputs, stats
+
+    def reset_counters(self) -> None:
+        for pe in self.pes:
+            pe.reset_counters()

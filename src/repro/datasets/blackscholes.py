@@ -1,0 +1,107 @@
+"""Option-pricing benchmark (AxBench / PARSEC ``blackscholes``).
+
+Computes European option prices with the Black–Scholes closed-form solution
+— the second approximate-computing benchmark the paper evaluates, with a
+6-16-1 model.  Like ``inversek2j`` this is an exact re-implementation of the
+data-generating kernel, not a substitute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.data import Dataset
+
+__all__ = ["generate_blackscholes", "black_scholes_price", "norm_cdf"]
+
+
+def norm_cdf(x: np.ndarray) -> np.ndarray:
+    """Standard normal CDF via the Abramowitz–Stegun erf approximation."""
+    x = np.asarray(x, dtype=float)
+    z = x / np.sqrt(2.0)
+    sign = np.sign(z)
+    az = np.abs(z)
+    t = 1.0 / (1.0 + 0.3275911 * az)
+    poly = t * (
+        0.254829592
+        + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429)))
+    )
+    erf = sign * (1.0 - poly * np.exp(-az * az))
+    return 0.5 * (1.0 + erf)
+
+
+def black_scholes_price(
+    spot: np.ndarray,
+    strike: np.ndarray,
+    rate: np.ndarray,
+    volatility: np.ndarray,
+    time_to_maturity: np.ndarray,
+    is_put: np.ndarray,
+) -> np.ndarray:
+    """European option price under Black–Scholes.
+
+    ``is_put`` selects put (1) versus call (0) pricing per sample, matching
+    the PARSEC kernel's ``OptionType`` input.
+    """
+    spot = np.asarray(spot, dtype=float)
+    strike = np.asarray(strike, dtype=float)
+    rate = np.asarray(rate, dtype=float)
+    volatility = np.asarray(volatility, dtype=float)
+    time_to_maturity = np.asarray(time_to_maturity, dtype=float)
+    is_put = np.asarray(is_put, dtype=float)
+
+    sqrt_t = np.sqrt(time_to_maturity)
+    d1 = (
+        np.log(spot / strike) + (rate + 0.5 * volatility**2) * time_to_maturity
+    ) / (volatility * sqrt_t)
+    d2 = d1 - volatility * sqrt_t
+    discount = strike * np.exp(-rate * time_to_maturity)
+    call = spot * norm_cdf(d1) - discount * norm_cdf(d2)
+    put = discount * norm_cdf(-d2) - spot * norm_cdf(-d1)
+    return np.where(is_put > 0.5, put, call)
+
+
+def generate_blackscholes(
+    num_samples: int = 2000,
+    seed: int | None = 0,
+) -> Dataset:
+    """Generate the option-pricing regression dataset.
+
+    Inputs (6, matching the paper's 6-16-1 topology): spot price, strike
+    price, risk-free rate, volatility, time to maturity, and option type —
+    each min-max normalized to [0, 1].  The target is the option price
+    normalized by the spot price (bounded to [0, 1] for the sigmoid output).
+    """
+    if num_samples <= 0:
+        raise ValueError("num_samples must be positive")
+    rng = np.random.default_rng(seed)
+    spot = rng.uniform(20.0, 120.0, size=num_samples)
+    # strike within +/-40% of spot keeps prices in an informative range
+    strike = spot * rng.uniform(0.6, 1.4, size=num_samples)
+    rate = rng.uniform(0.01, 0.1, size=num_samples)
+    volatility = rng.uniform(0.1, 0.6, size=num_samples)
+    time_to_maturity = rng.uniform(0.1, 2.0, size=num_samples)
+    is_put = (rng.random(num_samples) < 0.5).astype(float)
+
+    price = black_scholes_price(spot, strike, rate, volatility, time_to_maturity, is_put)
+
+    inputs = np.stack(
+        [
+            (spot - 20.0) / 100.0,
+            (strike / spot - 0.6) / 0.8,
+            (rate - 0.01) / 0.09,
+            (volatility - 0.1) / 0.5,
+            (time_to_maturity - 0.1) / 1.9,
+            is_put,
+        ],
+        axis=1,
+    )
+    targets = (price / spot).reshape(-1, 1)
+    return Dataset(
+        inputs=inputs,
+        targets=np.clip(targets, 0.0, 1.0),
+        name="bscholes",
+        metadata={
+            "substitute_for": "AxBench/PARSEC blackscholes (exact re-implementation)",
+        },
+    )

@@ -1,0 +1,86 @@
+"""Inverse-kinematics benchmark (AxBench ``inversek2j``).
+
+The kernel computes the joint angles of a 2-link planar arm that place the
+end effector at a requested (x, y) position — the approximate-computing
+benchmark the paper takes from Esmaeilzadeh et al. (MICRO 2012) with a
+2-16-2 model.  Unlike the image benchmarks, this one is reproduced exactly:
+the data-generating function is the closed-form two-joint inverse-kinematics
+solution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.data import Dataset
+
+__all__ = ["generate_inversek2j", "forward_kinematics", "inverse_kinematics", "ARM_LENGTHS"]
+
+#: Link lengths of the 2-joint arm (matching AxBench's 0.5 / 0.5 defaults).
+ARM_LENGTHS = (0.5, 0.5)
+
+
+def forward_kinematics(theta1: np.ndarray, theta2: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """End-effector (x, y) for joint angles ``theta1``, ``theta2``."""
+    l1, l2 = ARM_LENGTHS
+    theta1 = np.asarray(theta1, dtype=float)
+    theta2 = np.asarray(theta2, dtype=float)
+    x = l1 * np.cos(theta1) + l2 * np.cos(theta1 + theta2)
+    y = l1 * np.sin(theta1) + l2 * np.sin(theta1 + theta2)
+    return x, y
+
+
+def inverse_kinematics(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Closed-form elbow-down inverse kinematics for the 2-link arm."""
+    l1, l2 = ARM_LENGTHS
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    distance_sq = x**2 + y**2
+    cos_theta2 = (distance_sq - l1**2 - l2**2) / (2.0 * l1 * l2)
+    cos_theta2 = np.clip(cos_theta2, -1.0, 1.0)
+    theta2 = np.arccos(cos_theta2)
+    k1 = l1 + l2 * np.cos(theta2)
+    k2 = l2 * np.sin(theta2)
+    theta1 = np.arctan2(y, x) - np.arctan2(k2, k1)
+    return theta1, theta2
+
+
+def generate_inversek2j(
+    num_samples: int = 2000,
+    seed: int | None = 0,
+) -> Dataset:
+    """Generate the inverse-kinematics regression dataset.
+
+    Joint angles are sampled uniformly (θ₁ ∈ [0, π/2], θ₂ ∈ [0, π/2], the
+    AxBench input distribution), forward kinematics produces the (x, y)
+    inputs, and the targets are the normalized joint angles recovered by the
+    closed-form inverse solution.  Inputs and outputs are normalized to
+    [0, 1] so the sigmoid-output 2-16-2 model of the paper applies directly.
+    """
+    if num_samples <= 0:
+        raise ValueError("num_samples must be positive")
+    rng = np.random.default_rng(seed)
+    theta1 = rng.uniform(0.0, np.pi / 2.0, size=num_samples)
+    theta2 = rng.uniform(0.0, np.pi / 2.0, size=num_samples)
+    x, y = forward_kinematics(theta1, theta2)
+    solution_theta1, solution_theta2 = inverse_kinematics(x, y)
+
+    # normalize inputs from the reachable workspace ([-1, 1] both axes) and
+    # outputs from their angular ranges into [0, 1]
+    inputs = np.stack([(x + 1.0) / 2.0, (y + 1.0) / 2.0], axis=1)
+    targets = np.stack(
+        [
+            (solution_theta1 + np.pi / 2.0) / np.pi,
+            solution_theta2 / np.pi,
+        ],
+        axis=1,
+    )
+    return Dataset(
+        inputs=inputs,
+        targets=targets,
+        name="inversek2j",
+        metadata={
+            "substitute_for": "AxBench inversek2j (exact re-implementation)",
+            "arm_lengths": ARM_LENGTHS,
+        },
+    )

@@ -1,0 +1,144 @@
+"""Benchmark registry: the four application benchmarks of Table I.
+
+Each :class:`BenchmarkSpec` bundles everything an experiment needs to train
+and evaluate one of the paper's benchmarks: the dataset generator, the DNN
+topology the paper uses, the loss, the activation configuration, the error
+metric, and the train/test split ratio.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.data import Dataset, train_test_split
+from ..nn.metrics import classification_error, mean_squared_error
+from ..nn.network import Network
+from .blackscholes import generate_blackscholes
+from .digits import generate_digits
+from .faces import generate_faces
+from .inversek2j import generate_inversek2j
+
+__all__ = ["BenchmarkSpec", "BENCHMARKS", "get_benchmark", "list_benchmarks"]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Description of one application benchmark."""
+
+    name: str
+    description: str
+    topology: str
+    loss: str
+    hidden_activation: str
+    output_activation: str
+    error_metric: str  # "classification" or "mse"
+    generator: Callable[..., Dataset]
+    train_test_ratio: int
+    default_samples: int
+    #: nominal-voltage error reported by the paper (for EXPERIMENTS.md context)
+    paper_nominal_error: float
+
+    def generate(self, num_samples: int | None = None, seed: int | None = 0) -> Dataset:
+        """Generate the benchmark dataset."""
+        return self.generator(
+            num_samples=num_samples or self.default_samples, seed=seed
+        )
+
+    def split(
+        self, dataset: Dataset, seed: int | None = 0
+    ) -> tuple[Dataset, Dataset]:
+        """Train/test split using the paper's ratio for this benchmark."""
+        return train_test_split(dataset, ratio=self.train_test_ratio, rng=seed)
+
+    def build_network(self, seed: int | None = 0) -> Network:
+        """Construct the paper's model topology for this benchmark."""
+        return Network(
+            self.topology,
+            hidden_activation=self.hidden_activation,
+            output_activation=self.output_activation,
+            loss=self.loss,
+            seed=seed,
+        )
+
+    def error(self, predictions: np.ndarray, test: Dataset) -> float:
+        """Application error with the paper's metric for this benchmark."""
+        if self.error_metric == "classification":
+            if test.labels is None:
+                raise ValueError("classification benchmarks need integer labels")
+            return classification_error(predictions, test.labels)
+        return mean_squared_error(predictions, test.targets)
+
+
+BENCHMARKS: dict[str, BenchmarkSpec] = {
+    "mnist": BenchmarkSpec(
+        name="mnist",
+        description="Digit recognition (procedural MNIST substitute)",
+        topology="100-32-10",
+        # FANN-style classifier: independent sigmoid outputs (one per class),
+        # argmax readout — keeps every datapath value inside the fixed-point
+        # range of the accelerator, unlike a softmax-logit head.
+        loss="binary_cross_entropy",
+        hidden_activation="sigmoid",
+        output_activation="sigmoid",
+        error_metric="classification",
+        generator=generate_digits,
+        train_test_ratio=7,
+        default_samples=2000,
+        paper_nominal_error=0.094,
+    ),
+    "facedet": BenchmarkSpec(
+        name="facedet",
+        description="Face detection (procedural CBCL substitute)",
+        topology="400-8-1",
+        loss="binary_cross_entropy",
+        hidden_activation="sigmoid",
+        output_activation="sigmoid",
+        error_metric="classification",
+        generator=generate_faces,
+        train_test_ratio=7,
+        default_samples=1600,
+        paper_nominal_error=0.125,
+    ),
+    "inversek2j": BenchmarkSpec(
+        name="inversek2j",
+        description="2-joint inverse kinematics (AxBench)",
+        topology="2-16-2",
+        loss="mse",
+        hidden_activation="sigmoid",
+        output_activation="sigmoid",
+        error_metric="mse",
+        generator=generate_inversek2j,
+        train_test_ratio=10,
+        default_samples=2000,
+        paper_nominal_error=0.032,
+    ),
+    "bscholes": BenchmarkSpec(
+        name="bscholes",
+        description="Option pricing (AxBench/PARSEC blackscholes)",
+        topology="6-16-1",
+        loss="mse",
+        hidden_activation="sigmoid",
+        output_activation="sigmoid",
+        error_metric="mse",
+        generator=generate_blackscholes,
+        train_test_ratio=10,
+        default_samples=2000,
+        paper_nominal_error=0.021,
+    ),
+}
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up a benchmark spec by name."""
+    key = str(name).lower()
+    if key not in BENCHMARKS:
+        raise KeyError(f"unknown benchmark {name!r}; available: {sorted(BENCHMARKS)}")
+    return BENCHMARKS[key]
+
+
+def list_benchmarks() -> list[str]:
+    """Names of all registered benchmarks, in the paper's Table I order."""
+    return list(BENCHMARKS)

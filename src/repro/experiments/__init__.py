@@ -1,0 +1,53 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+| Paper artifact | Driver |
+|---|---|
+| Fig. 5   | :func:`repro.experiments.fig05_mat_sweep.run_fig5` |
+| Fig. 9a  | :func:`repro.experiments.fig09_sram.run_fig9a` |
+| Fig. 9b  | :func:`repro.experiments.fig09_sram.run_fig9b` |
+| Fig. 10  | :func:`repro.experiments.fig10_error_vs_voltage.run_fig10` |
+| Table I  | :func:`repro.experiments.table1_application_error.run_table1` |
+| Fig. 11  | :func:`repro.experiments.fig11_energy.run_fig11` |
+| Table II | :func:`repro.experiments.table2_energy_scenarios.run_table2` |
+| Fig. 12  | :func:`repro.experiments.fig12_temperature.run_fig12` |
+| Table III| :func:`repro.experiments.table3_comparison.run_table3` |
+"""
+
+from .common import (
+    ExperimentResult,
+    PreparedBenchmark,
+    default_flow,
+    format_table,
+    make_chip,
+    prepare_benchmark,
+)
+from .fig05_mat_sweep import run_fig5
+from .fig09_sram import run_fig9a, run_fig9b
+from .fig10_error_vs_voltage import DEFAULT_VOLTAGES, run_fig10
+from .fig11_energy import run_fig11
+from .fig12_temperature import run_fig12
+from .table1_application_error import PAPER_TABLE1, run_table1
+from .table2_energy_scenarios import PAPER_TABLE2, run_table2
+from .table3_comparison import PRIOR_WORK_ROWS, run_table3
+
+__all__ = [
+    "ExperimentResult",
+    "PreparedBenchmark",
+    "prepare_benchmark",
+    "default_flow",
+    "make_chip",
+    "format_table",
+    "run_fig5",
+    "run_fig9a",
+    "run_fig9b",
+    "run_fig10",
+    "DEFAULT_VOLTAGES",
+    "run_fig11",
+    "run_fig12",
+    "run_table1",
+    "PAPER_TABLE1",
+    "run_table2",
+    "PAPER_TABLE2",
+    "run_table3",
+    "PRIOR_WORK_ROWS",
+]

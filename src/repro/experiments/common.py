@@ -1,0 +1,170 @@
+"""Shared infrastructure for the experiment drivers.
+
+Every driver in :mod:`repro.experiments` regenerates one table or figure of
+the paper's evaluation.  They share a few needs: preparing a benchmark
+(dataset, split, pre-trained float baseline), deploying models onto chip
+instances, and rendering result tables as plain text that the benchmark
+harness prints next to the paper's reported values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..accelerator.soc import Snnac, SnnacConfig
+from ..datasets.registry import BenchmarkSpec, get_benchmark
+from ..matic.flow import MaticFlow, TrainingConfig
+from ..nn.data import Dataset
+from ..nn.network import Network
+from ..nn.trainer import Trainer
+
+__all__ = [
+    "PreparedBenchmark",
+    "prepare_benchmark",
+    "default_flow",
+    "make_chip",
+    "format_table",
+    "ExperimentResult",
+]
+
+
+@dataclass
+class PreparedBenchmark:
+    """A benchmark with its data split and trained float baseline."""
+
+    spec: BenchmarkSpec
+    train: Dataset
+    test: Dataset
+    baseline: Network
+    baseline_error: float
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+#: Per-benchmark baseline training settings (tuned once; see DESIGN.md).
+#: Weight decay keeps the trained weight range tight so the fixed-point
+#: format (and therefore the worst-case impact of a stuck bit) stays small.
+_BASELINE_TRAINING = {
+    "mnist": {"learning_rate": 0.2, "epochs": 60, "weight_decay": 2.0e-4},
+    "facedet": {"learning_rate": 0.2, "epochs": 40, "weight_decay": 2.0e-4},
+    "inversek2j": {"learning_rate": 0.3, "epochs": 60, "weight_decay": 1.0e-4},
+    "bscholes": {"learning_rate": 0.3, "epochs": 60, "weight_decay": 1.0e-4},
+}
+
+
+def prepare_benchmark(
+    name: str,
+    num_samples: int | None = None,
+    seed: int = 1,
+    epochs: int | None = None,
+) -> PreparedBenchmark:
+    """Generate data, split it, and train the float baseline for a benchmark."""
+    spec = get_benchmark(name)
+    dataset = spec.generate(num_samples=num_samples, seed=seed)
+    train, test = spec.split(dataset, seed=seed + 1)
+    baseline = spec.build_network(seed=seed + 2)
+    settings = dict(
+        _BASELINE_TRAINING.get(
+            name, {"learning_rate": 0.2, "epochs": 50, "weight_decay": 2.0e-4}
+        )
+    )
+    if epochs is not None:
+        settings["epochs"] = epochs
+    trainer = Trainer(
+        baseline,
+        optimizer="momentum",
+        learning_rate=settings["learning_rate"],
+        epochs=settings["epochs"],
+        weight_decay=settings.get("weight_decay", 0.0),
+        batch_size=16,
+        seed=seed + 3,
+    )
+    trainer.fit(train)
+    error = spec.error(baseline.predict(test.inputs), test)
+    return PreparedBenchmark(
+        spec=spec, train=train, test=test, baseline=baseline, baseline_error=error
+    )
+
+
+def default_flow(epochs: int = 60, seed: int = 0) -> MaticFlow:
+    """The MATIC flow configuration used by the evaluation drivers."""
+    return MaticFlow(
+        word_bits=16,
+        frac_bits=None,
+        training=TrainingConfig(
+            epochs=epochs, learning_rate=0.15, lr_decay=0.95, batch_size=32, seed=seed
+        ),
+    )
+
+
+def make_chip(seed: int = 11, words_per_bank: int = 512) -> Snnac:
+    """A fresh SNNAC chip instance (its own sampled SRAM variation)."""
+    return Snnac(SnnacConfig(seed=seed, words_per_bank=words_per_bank))
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[str]],
+    title: str = "",
+) -> str:
+    """Render a simple fixed-width text table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("all rows must have the same number of columns as headers")
+    widths = [
+        max(len(str(headers[col])), *(len(str(row[col])) for row in rows)) if rows else len(str(headers[col]))
+        for col in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Generic container returned by experiment drivers.
+
+    ``rows`` holds the regenerated table/series; ``paper_reference`` holds
+    the corresponding numbers reported in the paper (when the paper states
+    them), so the benchmark output can show both side by side.
+    """
+
+    experiment: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    paper_reference: dict[str, float | str] = field(default_factory=dict)
+    notes: str = ""
+
+    def to_text(self) -> str:
+        text = format_table(self.headers, self.rows, title=self.experiment)
+        if self.paper_reference:
+            reference_lines = [
+                f"  {key}: {value}" for key, value in self.paper_reference.items()
+            ]
+            text += "\n\npaper reference:\n" + "\n".join(reference_lines)
+        if self.notes:
+            text += f"\n\n{self.notes}"
+        return text
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()
+
+
+def fmt(value: float, digits: int = 3) -> str:
+    """Format a float for table cells."""
+    return f"{value:.{digits}f}"
+
+
+def fmt_percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"

@@ -1,0 +1,168 @@
+"""Fig. 9 — (a) measured SRAM read-failure rate, (b) topology selection.
+
+Fig. 9a plots the measured bit-level read-failure rate of the compiled weight
+SRAMs against supply voltage at 25 °C.  The driver profiles a modelled bank
+with the same read-after-write / read-after-read procedure used post-silicon
+and reports the measured rate next to the variation model's analytic
+prediction.
+
+Fig. 9b justifies the compact benchmark topologies: for each candidate hidden
+width the paper trains a model and plots its error, picking the smallest
+topology that does not sacrifice accuracy, "to avoid biased
+over-parameterization" (an over-parameterized model would hide the impact of
+SRAM faults).  The driver sweeps hidden widths for one benchmark and reports
+test error and parameter count per topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.network import Network
+from ..nn.trainer import Trainer
+from ..sram import calibration
+from ..sram.array import SramBank
+from ..sram.profiler import SramProfiler
+from .common import ExperimentResult, fmt, fmt_percent, prepare_benchmark
+
+__all__ = ["run_fig9a", "run_fig9b", "Fig9aPoint", "Fig9bPoint"]
+
+
+@dataclass
+class Fig9aPoint:
+    """Measured and model-predicted failure rate at one voltage."""
+
+    voltage: float
+    measured_rate: float
+    predicted_rate: float
+    word_rate: float
+
+
+@dataclass
+class Fig9aResult:
+    points: list[Fig9aPoint] = field(default_factory=list)
+
+    def to_experiment_result(self) -> ExperimentResult:
+        rows = [
+            [
+                f"{p.voltage:.2f}",
+                f"{p.measured_rate:.2e}",
+                f"{p.predicted_rate:.2e}",
+                fmt_percent(p.word_rate),
+            ]
+            for p in self.points
+        ]
+        return ExperimentResult(
+            experiment="Fig. 9a — SRAM read-failure rate vs voltage (25 °C)",
+            headers=["voltage (V)", "measured bit rate", "model bit rate", "word rate"],
+            rows=rows,
+            paper_reference={
+                "first failures": "~0.53 V",
+                "all reads failing": "~0.40 V",
+                "word-level incidence at the 0.50 V MEP": "~28%",
+            },
+        )
+
+
+def run_fig9a(
+    voltages: np.ndarray | None = None,
+    num_words: int = 4608,
+    word_bits: int = 16,
+    seed: int = 3,
+    temperature: float = calibration.NOMINAL_TEMPERATURE,
+) -> Fig9aResult:
+    """Profile a weight-SRAM-sized bank across the voltage sweep of Fig. 9a.
+
+    The default geometry (4608 × 16 bits = 9 KB) matches the paper's total
+    on-chip SRAM so the measured tail statistics are comparable.
+    """
+    if voltages is None:
+        voltages = np.arange(0.40, 0.561, 0.01)
+    bank = SramBank(num_words, word_bits, seed=seed)
+    profiler = SramProfiler()
+    result = Fig9aResult()
+    for voltage in np.asarray(voltages, dtype=float):
+        report = profiler.profile_bank(bank, float(voltage), temperature)
+        predicted = float(bank.variation_model.failure_probability(voltage))
+        word_rate = len(report.fault_map.faulty_addresses) / bank.num_words
+        result.points.append(
+            Fig9aPoint(
+                voltage=float(voltage),
+                measured_rate=report.fault_rate,
+                predicted_rate=predicted,
+                word_rate=word_rate,
+            )
+        )
+    return result
+
+
+@dataclass
+class Fig9bPoint:
+    """Error of one candidate topology."""
+
+    topology: str
+    num_parameters: int
+    test_error: float
+    train_error: float
+
+
+@dataclass
+class Fig9bResult:
+    benchmark: str
+    selected_topology: str
+    points: list[Fig9bPoint] = field(default_factory=list)
+
+    def to_experiment_result(self) -> ExperimentResult:
+        rows = [
+            [p.topology, str(p.num_parameters), fmt(p.test_error), fmt(p.train_error)]
+            for p in self.points
+        ]
+        return ExperimentResult(
+            experiment="Fig. 9b — topology selection (error vs model size)",
+            headers=["topology", "parameters", "test error", "train error"],
+            rows=rows,
+            paper_reference={
+                "selected topology (paper)": self.selected_topology,
+                "criterion": "smallest topology that does not sacrifice accuracy",
+            },
+        )
+
+
+def run_fig9b(
+    benchmark: str = "mnist",
+    hidden_widths: tuple[int, ...] = (4, 8, 16, 32, 64, 128),
+    num_samples: int = 1600,
+    epochs: int = 40,
+    seed: int = 1,
+) -> Fig9bResult:
+    """Sweep hidden-layer width for one benchmark (Fig. 9b)."""
+    prepared = prepare_benchmark(benchmark, num_samples=num_samples, seed=seed, epochs=1)
+    spec = prepared.spec
+    widths = spec.topology.split("-")
+    input_width, output_width = int(widths[0]), int(widths[-1])
+    result = Fig9bResult(benchmark=spec.name, selected_topology=spec.topology)
+    for hidden in hidden_widths:
+        topology = f"{input_width}-{hidden}-{output_width}"
+        network = Network(
+            topology,
+            hidden_activation=spec.hidden_activation,
+            output_activation=spec.output_activation,
+            loss=spec.loss,
+            seed=seed + 2,
+        )
+        Trainer(
+            network, learning_rate=0.2, epochs=epochs, batch_size=16, seed=seed + 3
+        ).fit(prepared.train)
+        test_error = spec.error(network.predict(prepared.test.inputs), prepared.test)
+        train_error = spec.error(network.predict(prepared.train.inputs), prepared.train)
+        result.points.append(
+            Fig9bPoint(
+                topology=topology,
+                num_parameters=network.num_parameters,
+                test_error=test_error,
+                train_error=train_error,
+            )
+        )
+    return result

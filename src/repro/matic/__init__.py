@@ -1,0 +1,21 @@
+"""MATIC core: memory-adaptive training, in-situ canaries, and the
+compile/deploy flow — the paper's primary contribution."""
+
+from .canary import CanaryBit, CanaryController, CanarySelector, RegulationTrace
+from .flow import MaticDeployment, MaticFlow, TrainingConfig
+from .masking import FaultMaskSet, LayerMasks, apply_masks_to_values
+from .training import MemoryAdaptiveTrainer
+
+__all__ = [
+    "CanaryBit",
+    "CanaryController",
+    "CanarySelector",
+    "RegulationTrace",
+    "MaticDeployment",
+    "MaticFlow",
+    "TrainingConfig",
+    "FaultMaskSet",
+    "LayerMasks",
+    "apply_masks_to_values",
+    "MemoryAdaptiveTrainer",
+]

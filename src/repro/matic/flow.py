@@ -1,0 +1,324 @@
+"""End-to-end MATIC compile/deploy flow (Fig. 3 of the paper).
+
+The flow stitches the subsystems together in the order the paper describes:
+
+1. **Memory profiling** — run the read-after-write / read-after-read
+   procedure on every weight SRAM bank at the target operating voltage to
+   obtain the chip-specific fault maps.
+2. **Memory-adaptive training** — convert the fault maps into injection
+   masks through the compiled weight placement and train the model with the
+   MAT update rule so it learns around the profiled errors.
+3. **Canary selection** — pick the most marginal still-working bit-cells of
+   each bank as in-situ canaries.
+4. **Deploy** — load the quantized model into the weight SRAMs and hand a
+   runtime :class:`~repro.matic.canary.CanaryController` to the caller.
+
+The flow also provides the *naive* deployment path (train at full precision,
+quantize, deploy, no fault awareness), which is the baseline every
+application-error experiment compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..accelerator.microcode import MicrocodeCompiler, NpuProgram
+from ..accelerator.soc import Snnac
+from ..nn.data import Dataset
+from ..nn.network import Network, Topology
+from ..nn.trainer import Trainer, TrainingHistory
+from ..quant.quantizer import WeightQuantizer
+from ..sram import calibration
+from ..sram.fault_map import FaultMap
+from ..sram.profiler import SramProfiler
+from .canary import CanaryBit, CanaryController, CanarySelector
+from .masking import FaultMaskSet
+from .training import MemoryAdaptiveTrainer
+
+__all__ = ["TrainingConfig", "MaticDeployment", "MaticFlow"]
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters shared by the baseline and memory-adaptive trainers."""
+
+    optimizer: str = "momentum"
+    learning_rate: float = 0.15
+    batch_size: int = 32
+    epochs: int = 50
+    patience: int | None = None
+    #: per-epoch multiplicative learning-rate decay (stabilizes MAT at high
+    #: fault rates)
+    lr_decay: float = 0.95
+    #: L2 regularization; keeping weights small keeps the fixed-point format
+    #: tight, which bounds the damage a single stuck bit can do
+    weight_decay: float = 2.0e-4
+    seed: int | None = 0
+
+
+@dataclass
+class MaticDeployment:
+    """Everything produced by one run of the MATIC flow on one chip."""
+
+    chip: Snnac
+    network: Network
+    program: NpuProgram
+    quantizer: WeightQuantizer
+    fault_maps: list[FaultMap]
+    mask_set: FaultMaskSet
+    target_voltage: float
+    canaries: list[CanaryBit] = field(default_factory=list)
+    controller: CanaryController | None = None
+    history: TrainingHistory | None = None
+
+    def run_at(
+        self, inputs: np.ndarray, sram_voltage: float | None = None
+    ) -> np.ndarray:
+        """Run inference on the chip at a given SRAM voltage (default: target).
+
+        The deployed weights are refreshed first so that corruption from a
+        previous operating point does not leak into the measurement.
+        """
+        voltage = self.target_voltage if sram_voltage is None else float(sram_voltage)
+        self.chip.refresh_weights()
+        self.chip.sram_regulator.set_voltage(voltage)
+        outputs, _ = self.chip.run_inference(inputs)
+        return outputs
+
+
+class MaticFlow:
+    """Compile-time flow: profile, train around errors, deploy, select canaries.
+
+    Parameters
+    ----------
+    word_bits / frac_bits:
+        Fixed-point weight format used for training *and* deployment (they
+        must match for the injection masks to describe the deployed words).
+        ``frac_bits=None`` (the default) fits the fraction width per layer to
+        the pre-trained model's weight range and then freezes it, which keeps
+        quantization loss negligible while bounding the magnitude of any
+        single stuck bit.
+    training:
+        Hyper-parameters for the trainers.
+    canaries_per_bank:
+        Number of in-situ canary cells per weight SRAM bank.
+    canary_strategy:
+        Selection strategy (``"profiled"`` or ``"oracle"``).
+    """
+
+    def __init__(
+        self,
+        word_bits: int = 16,
+        frac_bits: int | None = None,
+        training: TrainingConfig | None = None,
+        canaries_per_bank: int = 8,
+        canary_strategy: str = "profiled",
+    ) -> None:
+        self.word_bits = int(word_bits)
+        self.frac_bits = None if frac_bits is None else int(frac_bits)
+        self.training = training or TrainingConfig()
+        self.canaries_per_bank = int(canaries_per_bank)
+        self.canary_strategy = canary_strategy
+
+    # ------------------------------------------------------------ pieces
+
+    def make_quantizer(self) -> WeightQuantizer:
+        """The base weight quantizer (see :meth:`quantizer_for`)."""
+        return WeightQuantizer(total_bits=self.word_bits, frac_bits=self.frac_bits)
+
+    def quantizer_for(self, network: Network) -> WeightQuantizer:
+        """The weight format shared by training and deployment for one model.
+
+        Formats are chosen from ``network``'s current (pre-trained) weights
+        and frozen, so the same word layout is used when building injection
+        masks, during memory-adaptive training, and when loading the weights
+        into the accelerator's SRAM banks.
+        """
+        base = self.make_quantizer()
+        return base.freeze(base.layer_formats(network))
+
+    def build_network(self, topology: str | Topology, loss: str, **kwargs) -> Network:
+        """Construct a model with the flow's default seeding."""
+        return Network(topology, loss=loss, seed=self.training.seed, **kwargs)
+
+    def train_baseline(
+        self, network: Network, train: Dataset, validation: Dataset | None = None
+    ) -> TrainingHistory:
+        """Train the naive (fault-unaware, full-precision) baseline model."""
+        trainer = Trainer(
+            network,
+            optimizer=self.training.optimizer,
+            learning_rate=self.training.learning_rate,
+            batch_size=self.training.batch_size,
+            epochs=self.training.epochs,
+            patience=self.training.patience,
+            lr_decay=self.training.lr_decay,
+            weight_decay=self.training.weight_decay,
+            seed=self.training.seed,
+        )
+        return trainer.fit(train, validation=validation)
+
+    def profile_chip(
+        self,
+        chip: Snnac,
+        voltage: float,
+        temperature: float = calibration.NOMINAL_TEMPERATURE,
+    ) -> list[FaultMap]:
+        """Profile every weight bank of ``chip`` at the target voltage."""
+        profiler = SramProfiler()
+        reports = profiler.profile_memory_system(chip.memory, voltage, temperature)
+        return [report.fault_map for report in reports]
+
+    def build_mask_set(
+        self,
+        network: Network,
+        chip: Snnac,
+        fault_maps: list[FaultMap],
+    ) -> FaultMaskSet:
+        """Convert per-bank fault maps into per-layer injection masks."""
+        quantizer = self.quantizer_for(network)
+        compiler = MicrocodeCompiler(
+            num_pes=len(chip.memory),
+            words_per_bank=min(bank.num_words for bank in chip.memory),
+            pipeline_overhead=chip.config.pipeline_overhead,
+        )
+        program = compiler.compile(network, quantizer)
+        return FaultMaskSet.from_fault_maps(
+            network,
+            quantizer,
+            program.placement,
+            fault_maps,
+            description=f"profiled masks for {network.name}",
+        )
+
+    # ----------------------------------------------------------- the flow
+
+    def deploy_adaptive(
+        self,
+        chip: Snnac,
+        topology: str | Topology,
+        train: Dataset,
+        validation: Dataset | None = None,
+        target_voltage: float = 0.5,
+        loss: str = "mse",
+        hidden_activation: str = "sigmoid",
+        output_activation: str = "sigmoid",
+        initial_network: Network | None = None,
+        select_canaries: bool = True,
+    ) -> MaticDeployment:
+        """Run the full MATIC flow and return the deployment handle.
+
+        ``initial_network`` lets callers start adaptive training from a
+        pre-trained baseline (the usual practice: fine-tune around the
+        profiled faults rather than training from scratch).
+        """
+        # 1. profile the chip's weight memories at the target voltage
+        fault_maps = self.profile_chip(chip, target_voltage)
+
+        # 2. memory-adaptive training with the profiled injection masks
+        if initial_network is not None:
+            network = initial_network.copy()
+        elif isinstance(topology, Topology):
+            network = Network(topology, loss=loss, seed=self.training.seed)
+        else:
+            network = Network(
+                topology,
+                hidden_activation=hidden_activation,
+                output_activation=output_activation,
+                loss=loss,
+                seed=self.training.seed,
+            )
+        quantizer = self.quantizer_for(network)
+        mask_set = self.build_mask_set(network, chip, fault_maps)
+        trainer = MemoryAdaptiveTrainer(
+            network,
+            mask_set,
+            optimizer=self.training.optimizer,
+            learning_rate=self.training.learning_rate,
+            batch_size=self.training.batch_size,
+            epochs=self.training.epochs,
+            patience=self.training.patience,
+            lr_decay=self.training.lr_decay,
+            weight_decay=self.training.weight_decay,
+            seed=self.training.seed,
+        )
+        history = trainer.fit(train, validation=validation)
+
+        # 3. deploy the trained model to the chip (quantized master weights)
+        program = chip.deploy(network, quantizer)
+
+        # 4. select in-situ canaries and build the runtime controller
+        canaries: list[CanaryBit] = []
+        controller = None
+        if select_canaries:
+            selector = CanarySelector(
+                canaries_per_bank=self.canaries_per_bank,
+                strategy=self.canary_strategy,
+            )
+            canaries = selector.select(
+                chip.memory,
+                target_voltage,
+                used_words_per_bank=program.placement.words_used_per_pe,
+            )
+            if canaries:
+                controller = CanaryController(chip, canaries)
+
+        chip.sram_regulator.set_voltage(target_voltage)
+        return MaticDeployment(
+            chip=chip,
+            network=network,
+            program=program,
+            quantizer=quantizer,
+            fault_maps=fault_maps,
+            mask_set=mask_set,
+            target_voltage=float(target_voltage),
+            canaries=canaries,
+            controller=controller,
+            history=history,
+        )
+
+    def deploy_naive(
+        self,
+        chip: Snnac,
+        topology: str | Topology,
+        train: Dataset,
+        validation: Dataset | None = None,
+        target_voltage: float = 0.5,
+        loss: str = "mse",
+        hidden_activation: str = "sigmoid",
+        output_activation: str = "sigmoid",
+        initial_network: Network | None = None,
+    ) -> MaticDeployment:
+        """Deploy the naive baseline: same topology, no fault awareness."""
+        if initial_network is not None:
+            network = initial_network.copy()
+            history = None
+        else:
+            if isinstance(topology, Topology):
+                network = Network(topology, loss=loss, seed=self.training.seed)
+            else:
+                network = Network(
+                    topology,
+                    hidden_activation=hidden_activation,
+                    output_activation=output_activation,
+                    loss=loss,
+                    seed=self.training.seed,
+                )
+            history = self.train_baseline(network, train, validation)
+        quantizer = self.quantizer_for(network)
+        program = chip.deploy(network, quantizer)
+        fault_maps = self.profile_chip(chip, target_voltage)
+        mask_set = FaultMaskSet.identity(network, quantizer)
+        chip.sram_regulator.set_voltage(target_voltage)
+        return MaticDeployment(
+            chip=chip,
+            network=network,
+            program=program,
+            quantizer=quantizer,
+            fault_maps=fault_maps,
+            mask_set=mask_set,
+            target_voltage=float(target_voltage),
+            history=history,
+        )

@@ -1,0 +1,177 @@
+"""Memory-adaptive training (MAT).
+
+MAT augments vanilla backprop with the injection-masking process of Fig. 4:
+
+1. master float weights ``w`` are quantized to the SRAM word format,
+2. the profiled AND/OR fault masks are applied to the quantized words,
+   producing the *fixed* weights ``m`` the accelerator would actually read,
+3. the forward and backward passes run on ``m``, so the propagated error
+   reflects the bit errors, and
+4. the weight update keeps float-domain state:
+
+   ``w[n+1] = m[n] − α · ∂J/∂m[n] + ε_q``,  with  ``ε_q = w[n] − Q(w[n])``
+
+   i.e. the fractional quantization error is preserved so that small
+   gradient updates accumulate across iterations instead of being rounded
+   away (the convergence fix the paper adopts from Gupta et al.).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.data import Dataset
+from ..nn.network import Network
+from ..nn.optimizers import Optimizer
+from ..nn.trainer import Trainer, TrainingHistory
+from ..quant.quantizer import WeightQuantizer
+from .masking import FaultMaskSet, apply_masks_to_values
+
+__all__ = ["MemoryAdaptiveTrainer"]
+
+
+class MemoryAdaptiveTrainer(Trainer):
+    """Trainer implementing the paper's memory-adaptive weight update rule.
+
+    Parameters
+    ----------
+    network:
+        The model to train; its master weights stay in float, its effective
+        weights are replaced by the quantized/fault-masked view every step.
+    mask_set:
+        Injection masks (profiled or synthetic) plus per-layer fixed-point
+        formats.  Use :meth:`repro.matic.masking.FaultMaskSet.identity` to
+        run quantized-but-fault-free training.
+    optimizer, learning_rate, batch_size, epochs, patience, seed:
+        As in :class:`repro.nn.trainer.Trainer`.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        mask_set: FaultMaskSet,
+        optimizer: str | Optimizer = "momentum",
+        learning_rate: float = 0.1,
+        batch_size: int = 32,
+        epochs: int = 50,
+        patience: int | None = None,
+        lr_decay: float = 0.93,
+        weight_decay: float = 0.0,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(
+            network,
+            optimizer=optimizer,
+            learning_rate=learning_rate,
+            batch_size=batch_size,
+            epochs=epochs,
+            patience=patience,
+            lr_decay=lr_decay,
+            weight_decay=weight_decay,
+            seed=seed,
+        )
+        if len(mask_set) != len(network.layers):
+            raise ValueError("mask set depth does not match the network")
+        self.mask_set = mask_set
+
+    # ------------------------------------------------------------------
+
+    def _install_masked_view(self) -> None:
+        """Install the quantized, fault-masked effective parameters."""
+        self.mask_set.install(self.network)
+
+    def train_step(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """One MAT iteration: mask, forward, backward, adapted update."""
+        self._install_masked_view()
+        predictions = self.network.forward(inputs, training=True)
+        loss_value = self.network.backward(predictions, targets)
+        if self.weight_decay:
+            for layer in self.network.layers:
+                layer.grad_weights = (
+                    layer.grad_weights + self.weight_decay * layer.effective_weights
+                )
+
+        for index, layer in enumerate(self.network.layers):
+            fmt = self.mask_set.layer_formats[index]
+            weight_format = fmt.weight_format
+            bias_format = fmt.bias_format
+            # m[n]: the masked/quantized parameters the passes just used
+            masked_weights = layer.effective_weights
+            masked_bias = layer.effective_bias
+            # ε_q: *fractional* (sub-LSB) quantization error of the master
+            # parameters.  Masters are clamped to the representable range
+            # first; otherwise a master pushed outside the range by a fault
+            # would make ε_q the full clipping error and the float weights
+            # would drift without bound.
+            clipped_weights = np.clip(
+                layer.weights, weight_format.min_value, weight_format.max_value
+            )
+            clipped_bias = np.clip(
+                layer.bias, bias_format.min_value, bias_format.max_value
+            )
+            eps_weights = clipped_weights - weight_format.quantize(clipped_weights)
+            eps_bias = clipped_bias - bias_format.quantize(clipped_bias)
+            # optimizer delta corresponds to α · ∂J/∂m (with momentum/Adam
+            # generalizations handled by the optimizer itself)
+            delta_weights = self.optimizer.parameter_delta(
+                f"layer{index}.weights", layer.grad_weights
+            )
+            delta_bias = self.optimizer.parameter_delta(
+                f"layer{index}.bias", layer.grad_bias
+            )
+            layer.weights = np.clip(
+                masked_weights - delta_weights + eps_weights,
+                weight_format.min_value,
+                weight_format.max_value,
+            )
+            layer.bias = np.clip(
+                masked_bias - delta_bias + eps_bias,
+                bias_format.min_value,
+                bias_format.max_value,
+            )
+
+        return loss_value
+
+    def fit(
+        self,
+        train: Dataset,
+        validation: Dataset | None = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train and leave the network carrying the masked deployment view.
+
+        After training, the network's *effective* parameters hold the
+        quantized, fault-masked weights (what the accelerator will compute
+        with), while the master parameters hold the float training state.
+        Evaluation of the deployed behaviour should therefore use the network
+        as-is; call :meth:`repro.nn.network.Network.clear_effective` to get
+        back the pure float model.
+        """
+        history = super().fit(train, validation=validation, verbose=verbose)
+        self._install_masked_view()
+        return history
+
+    # ------------------------------------------------------------------
+
+    def deployed_accuracy_view(self) -> Network:
+        """Return a copy of the network whose *master* weights are the masked view.
+
+        Useful for handing the trained-around model to tooling that ignores
+        effective weights (e.g. the weight quantizer during deployment).
+        """
+        clone = self.network.copy()
+        for index, layer in enumerate(clone.layers):
+            masks = self.mask_set.layer_masks[index]
+            fmt = self.mask_set.layer_formats[index]
+            layer.weights = apply_masks_to_values(
+                layer.weights, masks.weight_and, masks.weight_or, fmt.weight_format
+            )
+            layer.bias = apply_masks_to_values(
+                layer.bias, masks.bias_and, masks.bias_or, fmt.bias_format
+            )
+        return clone
+
+
+def quantizer_for(mask_set: FaultMaskSet) -> WeightQuantizer:
+    """Convenience: a quantizer matching the mask set's word length."""
+    return WeightQuantizer(total_bits=mask_set.word_bits)

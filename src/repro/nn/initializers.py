@@ -1,0 +1,144 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit :class:`numpy.random.Generator` so that
+experiments are reproducible end to end (the paper's evaluation is only
+meaningful if the baseline and the memory-adaptive model start from the same
+initial weights).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Initializer",
+    "UniformInitializer",
+    "NormalInitializer",
+    "XavierUniform",
+    "XavierNormal",
+    "HeNormal",
+    "ZerosInitializer",
+    "get_initializer",
+]
+
+
+class Initializer:
+    """Base class: callable producing an array of a requested shape."""
+
+    name = "base"
+
+    def __call__(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+    @staticmethod
+    def _fan(shape: tuple[int, ...]) -> tuple[int, int]:
+        """Return (fan_in, fan_out) for a dense weight matrix shape."""
+        if len(shape) == 1:
+            return shape[0], shape[0]
+        fan_in = int(shape[0])
+        fan_out = int(np.prod(shape[1:]))
+        return fan_in, fan_out
+
+
+class ZerosInitializer(Initializer):
+    """All-zeros; the default for bias vectors."""
+
+    name = "zeros"
+
+    def __call__(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return np.zeros(shape, dtype=float)
+
+
+class UniformInitializer(Initializer):
+    """Uniform on ``[-scale, scale]``."""
+
+    name = "uniform"
+
+    def __init__(self, scale: float = 0.1) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = float(scale)
+
+    def __call__(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(-self.scale, self.scale, size=shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"UniformInitializer(scale={self.scale})"
+
+
+class NormalInitializer(Initializer):
+    """Zero-mean Gaussian with a fixed standard deviation."""
+
+    name = "normal"
+
+    def __init__(self, std: float = 0.05) -> None:
+        if std <= 0:
+            raise ValueError("std must be positive")
+        self.std = float(std)
+
+    def __call__(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(0.0, self.std, size=shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"NormalInitializer(std={self.std})"
+
+
+class XavierUniform(Initializer):
+    """Glorot/Xavier uniform: suits sigmoid/tanh networks like SNNAC's."""
+
+    name = "xavier_uniform"
+
+    def __call__(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        fan_in, fan_out = self._fan(shape)
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        return rng.uniform(-limit, limit, size=shape)
+
+
+class XavierNormal(Initializer):
+    """Glorot/Xavier normal."""
+
+    name = "xavier_normal"
+
+    def __call__(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        fan_in, fan_out = self._fan(shape)
+        std = np.sqrt(2.0 / (fan_in + fan_out))
+        return rng.normal(0.0, std, size=shape)
+
+
+class HeNormal(Initializer):
+    """He/Kaiming normal: suits ReLU networks."""
+
+    name = "he_normal"
+
+    def __call__(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        fan_in, _ = self._fan(shape)
+        std = np.sqrt(2.0 / fan_in)
+        return rng.normal(0.0, std, size=shape)
+
+
+_REGISTRY = {
+    cls.name: cls
+    for cls in (
+        ZerosInitializer,
+        UniformInitializer,
+        NormalInitializer,
+        XavierUniform,
+        XavierNormal,
+        HeNormal,
+    )
+}
+
+
+def get_initializer(name: str | Initializer) -> Initializer:
+    """Resolve an initializer by name (or pass an instance through)."""
+    if isinstance(name, Initializer):
+        return name
+    key = str(name).lower()
+    if key not in _REGISTRY:
+        raise ValueError(
+            f"unknown initializer {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key]()

@@ -1,0 +1,200 @@
+"""Network layers.
+
+The paper only evaluates fully-connected (FC) DNNs — the SNNAC accelerator is
+an FC-oriented design — so the framework provides a dense layer plus the
+plumbing MATIC needs:
+
+* every layer keeps *master* float weights (``weights`` / ``bias``) that the
+  optimizer updates, and
+* optionally carries *effective* weights (``effective_weights`` /
+  ``effective_bias``) that the forward and backward passes use instead.
+
+Memory-adaptive training sets the effective weights each iteration to the
+quantized, fault-masked view of the master weights, so the gradients computed
+by backprop are exactly ``∂J/∂m`` from the paper's update rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .activations import Activation, get_activation
+from .initializers import Initializer, XavierUniform, ZerosInitializer, get_initializer
+
+__all__ = ["Layer", "DenseLayer"]
+
+
+class Layer:
+    """Base class for layers with trainable parameters."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        return []
+
+    @property
+    def gradients(self) -> list[np.ndarray]:
+        return []
+
+
+class DenseLayer(Layer):
+    """Fully-connected layer ``y = f(x @ W + b)``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Layer width.  For SNNAC these map to a weight matrix that is
+        time-multiplexed across the eight processing elements.
+    activation:
+        Activation name or instance (default sigmoid, matching the paper's
+        benchmark models).
+    weight_initializer, bias_initializer:
+        Initialization schemes; Xavier uniform and zeros by default.
+    rng:
+        Random generator used to draw the initial weights.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: str | Activation = "sigmoid",
+        weight_initializer: str | Initializer | None = None,
+        bias_initializer: str | Initializer | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("layer dimensions must be positive")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.activation = get_activation(activation)
+
+        w_init = (
+            get_initializer(weight_initializer)
+            if weight_initializer is not None
+            else XavierUniform()
+        )
+        b_init = (
+            get_initializer(bias_initializer)
+            if bias_initializer is not None
+            else ZerosInitializer()
+        )
+        rng = rng if rng is not None else np.random.default_rng()
+
+        #: master float weights, shape (in_features, out_features)
+        self.weights = w_init((self.in_features, self.out_features), rng)
+        #: master float bias, shape (out_features,)
+        self.bias = b_init((self.out_features,), rng)
+
+        #: optional fault-masked / quantized view used by forward & backward
+        self.effective_weights: np.ndarray | None = None
+        self.effective_bias: np.ndarray | None = None
+
+        self.grad_weights = np.zeros_like(self.weights)
+        self.grad_bias = np.zeros_like(self.bias)
+
+        # caches populated by forward() when training=True
+        self._input: np.ndarray | None = None
+        self._pre_activation: np.ndarray | None = None
+        self._output: np.ndarray | None = None
+        #: set by Network.backward when the loss gradient is already w.r.t.
+        #: the pre-activation (softmax + cross-entropy fusion)
+        self.skip_activation_gradient = False
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def active_weights(self) -> np.ndarray:
+        """Weights actually used for compute (effective if set, else master)."""
+        return self.effective_weights if self.effective_weights is not None else self.weights
+
+    @property
+    def active_bias(self) -> np.ndarray:
+        """Bias actually used for compute (effective if set, else master)."""
+        return self.effective_bias if self.effective_bias is not None else self.bias
+
+    def set_effective(self, weights: np.ndarray | None, bias: np.ndarray | None) -> None:
+        """Install (or clear, with ``None``) the effective parameter view."""
+        if weights is not None and weights.shape != self.weights.shape:
+            raise ValueError(
+                f"effective weight shape {weights.shape} != {self.weights.shape}"
+            )
+        if bias is not None and bias.shape != self.bias.shape:
+            raise ValueError(
+                f"effective bias shape {bias.shape} != {self.bias.shape}"
+            )
+        self.effective_weights = weights
+        self.effective_bias = bias
+
+    def clear_effective(self) -> None:
+        """Remove any effective parameter view; compute reverts to masters."""
+        self.effective_weights = None
+        self.effective_bias = None
+
+    # ------------------------------------------------------------ forward
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"input has {x.shape[1]} features, layer expects {self.in_features}"
+            )
+        z = x @ self.active_weights + self.active_bias
+        y = self.activation.forward(z)
+        if training:
+            self._input = x
+            self._pre_activation = z
+            self._output = y
+        return y
+
+    # ----------------------------------------------------------- backward
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad_output`` (dJ/dy) through the layer.
+
+        Stores ``grad_weights`` / ``grad_bias`` (gradients with respect to
+        the *active* weights) and returns dJ/dx for the previous layer.
+        """
+        if self._input is None or self._pre_activation is None or self._output is None:
+            raise RuntimeError("backward() called before forward(training=True)")
+        grad_output = np.asarray(grad_output, dtype=float)
+        if grad_output.ndim == 1:
+            grad_output = grad_output.reshape(1, -1)
+
+        if self.skip_activation_gradient:
+            grad_z = grad_output
+        else:
+            grad_z = grad_output * self.activation.backward(
+                self._pre_activation, self._output
+            )
+
+        self.grad_weights = self._input.T @ grad_z
+        self.grad_bias = np.sum(grad_z, axis=0)
+        return grad_z @ self.active_weights.T
+
+    # -------------------------------------------------------- bookkeeping
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weights, self.bias]
+
+    @property
+    def gradients(self) -> list[np.ndarray]:
+        return [self.grad_weights, self.grad_bias]
+
+    @property
+    def num_parameters(self) -> int:
+        return self.weights.size + self.bias.size
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"DenseLayer({self.in_features}->{self.out_features}, "
+            f"activation={self.activation.name})"
+        )

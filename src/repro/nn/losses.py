@@ -1,0 +1,148 @@
+"""Loss functions for training and evaluating fully-connected DNNs.
+
+Every loss exposes:
+
+``value(predictions, targets)``
+    Scalar mean loss over the batch.
+
+``gradient(predictions, targets)``
+    Gradient of the mean loss with respect to the predictions (same shape as
+    ``predictions``).
+
+``fuses_with_softmax``
+    True when the loss gradient is expressed with respect to the
+    pre-activation logits of a softmax output layer (cross-entropy).  The
+    :class:`repro.nn.network.Network` backward pass uses this flag to skip
+    the softmax Jacobian.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Loss",
+    "MeanSquaredError",
+    "CrossEntropyLoss",
+    "BinaryCrossEntropyLoss",
+    "get_loss",
+]
+
+_EPS = 1e-12
+
+
+def _as_2d(a: np.ndarray) -> np.ndarray:
+    a = np.asarray(a, dtype=float)
+    if a.ndim == 1:
+        return a.reshape(1, -1)
+    return a
+
+
+class Loss:
+    """Base class for losses."""
+
+    name = "base"
+    #: when True the gradient is w.r.t. softmax logits, not probabilities
+    fuses_with_softmax = False
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error, averaged over batch and output dimensions.
+
+    This is the error metric the paper reports for the ``inversek2j`` and
+    ``bscholes`` regression benchmarks.
+    """
+
+    name = "mse"
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        p, t = _as_2d(predictions), _as_2d(targets)
+        if p.shape != t.shape:
+            raise ValueError(f"shape mismatch: {p.shape} vs {t.shape}")
+        return float(np.mean((p - t) ** 2))
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        p, t = _as_2d(predictions), _as_2d(targets)
+        if p.shape != t.shape:
+            raise ValueError(f"shape mismatch: {p.shape} vs {t.shape}")
+        return 2.0 * (p - t) / p.size
+
+
+class CrossEntropyLoss(Loss):
+    """Categorical cross-entropy over one-hot targets.
+
+    Intended to follow a softmax output layer; the gradient returned is with
+    respect to the softmax *logits* (``softmax(x) - target``), the standard
+    fused form, which is both faster and numerically better conditioned.
+    """
+
+    name = "cross_entropy"
+    fuses_with_softmax = True
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        p, t = _as_2d(predictions), _as_2d(targets)
+        if p.shape != t.shape:
+            raise ValueError(f"shape mismatch: {p.shape} vs {t.shape}")
+        p = np.clip(p, _EPS, 1.0)
+        return float(-np.mean(np.sum(t * np.log(p), axis=-1)))
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        p, t = _as_2d(predictions), _as_2d(targets)
+        if p.shape != t.shape:
+            raise ValueError(f"shape mismatch: {p.shape} vs {t.shape}")
+        return (p - t) / p.shape[0]
+
+
+class BinaryCrossEntropyLoss(Loss):
+    """Per-output (sigmoid) cross-entropy, summed over outputs, averaged over
+    the batch.
+
+    This is the FANN-style classifier loss used by the ``facedet`` (400-8-1)
+    and ``mnist`` (100-32-10, independent sigmoid outputs) benchmarks.  The
+    gradient is with respect to the sigmoid *outputs* (probabilities), so it
+    composes with the sigmoid local derivative in the output layer; its scale
+    matches :class:`CrossEntropyLoss` (per-sample, not per-element), so the
+    same learning rates work for both classifier heads.
+    """
+
+    name = "binary_cross_entropy"
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        p, t = _as_2d(predictions), _as_2d(targets)
+        if p.shape != t.shape:
+            raise ValueError(f"shape mismatch: {p.shape} vs {t.shape}")
+        p = np.clip(p, _EPS, 1.0 - _EPS)
+        per_sample = -np.sum(t * np.log(p) + (1.0 - t) * np.log(1.0 - p), axis=-1)
+        return float(np.mean(per_sample))
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        p, t = _as_2d(predictions), _as_2d(targets)
+        if p.shape != t.shape:
+            raise ValueError(f"shape mismatch: {p.shape} vs {t.shape}")
+        p = np.clip(p, _EPS, 1.0 - _EPS)
+        return (p - t) / (p * (1.0 - p)) / p.shape[0]
+
+
+_REGISTRY = {
+    cls.name: cls
+    for cls in (MeanSquaredError, CrossEntropyLoss, BinaryCrossEntropyLoss)
+}
+
+
+def get_loss(name: str | Loss) -> Loss:
+    """Resolve a loss by name (or pass an instance through)."""
+    if isinstance(name, Loss):
+        return name
+    key = str(name).lower()
+    if key not in _REGISTRY:
+        raise ValueError(f"unknown loss {name!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[key]()

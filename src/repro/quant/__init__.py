@@ -1,0 +1,17 @@
+"""Fixed-point formats and weight quantization for the SNNAC datapath."""
+
+from .fixed_point import FixedPointFormat
+from .quantizer import (
+    FrozenWeightQuantizer,
+    LayerQuantization,
+    QuantizedWeights,
+    WeightQuantizer,
+)
+
+__all__ = [
+    "FixedPointFormat",
+    "LayerQuantization",
+    "QuantizedWeights",
+    "WeightQuantizer",
+    "FrozenWeightQuantizer",
+]

@@ -1,0 +1,43 @@
+"""Voltage-scalable SRAM substrate: bit-cell variation, arrays, fault maps,
+profiling, regulators, and environmental variation models."""
+
+from . import calibration
+from .array import SramBank, WeightMemorySystem
+from .bitcell import (
+    BitcellPopulation,
+    BitcellVariationModel,
+    EmpiricalVminModel,
+    GaussianVminModel,
+)
+from .fault_map import BitFault, FaultMap
+from .profiler import ProfileReport, SramProfiler
+from .regulator import VoltageRegulator
+from .variation import (
+    FAST_CORNER,
+    SLOW_CORNER,
+    TYPICAL_CORNER,
+    EnvironmentalConditions,
+    ProcessCorner,
+    TemperatureChamber,
+)
+
+__all__ = [
+    "calibration",
+    "SramBank",
+    "WeightMemorySystem",
+    "BitcellPopulation",
+    "BitcellVariationModel",
+    "GaussianVminModel",
+    "EmpiricalVminModel",
+    "BitFault",
+    "FaultMap",
+    "ProfileReport",
+    "SramProfiler",
+    "VoltageRegulator",
+    "EnvironmentalConditions",
+    "ProcessCorner",
+    "TemperatureChamber",
+    "TYPICAL_CORNER",
+    "SLOW_CORNER",
+    "FAST_CORNER",
+]

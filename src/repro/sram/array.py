@@ -1,0 +1,332 @@
+"""Behavioural model of a voltage-scalable 6T SRAM bank.
+
+The model captures the read-stability failure mechanism MATIC is built
+around:
+
+* every bit-cell has a sampled V_min,read and a preferred state,
+* a read performed below a cell's (temperature-shifted) V_min,read
+  flips the cell to its preferred state — the read returns the corrupted
+  value and the corruption *persists* for subsequent reads, and
+* a write refreshes the cell contents (until the next low-voltage read).
+
+Access-time failures are out of scope, exactly as in the paper ("read
+failures ... are distinct from bit-line access-time failures, which can be
+corrected with ample timing margin").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import calibration
+from .bitcell import BitcellPopulation, BitcellVariationModel, EmpiricalVminModel
+from .fault_map import BitFault, FaultMap
+
+__all__ = ["SramBank", "WeightMemorySystem"]
+
+
+class SramBank:
+    """A single voltage-scalable SRAM bank (one per SNNAC processing element).
+
+    Parameters
+    ----------
+    num_words:
+        Number of addressable words.
+    word_bits:
+        Word length in bits (8–22 for SNNAC weight memories).
+    variation_model:
+        Bit-cell variation model used to sample per-cell parameters
+        (defaults to the empirical model calibrated to the paper's measured
+        failure curve, Fig. 9a).
+    rng / seed:
+        Randomness for the variation sampling.
+    name:
+        Identifier used in profiling reports (e.g. ``"pe0.weights"``).
+    """
+
+    def __init__(
+        self,
+        num_words: int,
+        word_bits: int,
+        variation_model: BitcellVariationModel | None = None,
+        seed: int | np.random.Generator | None = None,
+        name: str = "sram",
+        temperature_coefficient: float = calibration.TEMPERATURE_COEFFICIENT,
+    ) -> None:
+        if num_words <= 0 or word_bits <= 0:
+            raise ValueError("num_words and word_bits must be positive")
+        if word_bits > 64:
+            raise ValueError("word_bits must be at most 64")
+        self.num_words = int(num_words)
+        self.word_bits = int(word_bits)
+        self.name = name
+        self.temperature_coefficient = float(temperature_coefficient)
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        model = variation_model if variation_model is not None else EmpiricalVminModel()
+        self.variation_model = model
+        self.cells: BitcellPopulation = model.sample(self.num_words, self.word_bits, rng)
+        #: stored bit values, shape (num_words, word_bits), LSB at index 0
+        self.data_bits = np.zeros((self.num_words, self.word_bits), dtype=np.uint8)
+        #: counters useful for energy accounting and tests
+        self.read_count = 0
+        self.write_count = 0
+
+    # ----------------------------------------------------------- geometry
+
+    @property
+    def size_bits(self) -> int:
+        return self.num_words * self.word_bits
+
+    @property
+    def size_bytes(self) -> float:
+        return self.size_bits / 8.0
+
+    @property
+    def word_mask(self) -> int:
+        return (1 << self.word_bits) - 1
+
+    # ------------------------------------------------------------ helpers
+
+    def _check_addresses(self, addresses: np.ndarray) -> np.ndarray:
+        addresses = np.atleast_1d(np.asarray(addresses, dtype=int))
+        if addresses.size and (addresses.min() < 0 or addresses.max() >= self.num_words):
+            raise IndexError("address out of range")
+        return addresses
+
+    def _words_to_bits(self, words: np.ndarray) -> np.ndarray:
+        words = np.asarray(words, dtype=np.uint64)
+        shifts = np.arange(self.word_bits, dtype=np.uint64)
+        return ((words[..., None] >> shifts) & np.uint64(1)).astype(np.uint8)
+
+    def _bits_to_words(self, bits: np.ndarray) -> np.ndarray:
+        shifts = np.arange(self.word_bits, dtype=np.uint64)
+        return np.sum(bits.astype(np.uint64) << shifts, axis=-1).astype(np.uint64)
+
+    def effective_vmin(self, temperature: float) -> np.ndarray:
+        """Per-cell V_min,read shifted to the given temperature."""
+        return BitcellVariationModel.effective_vmin(
+            self.cells.vmin_read,
+            temperature,
+            temperature_coefficient=self.temperature_coefficient,
+        )
+
+    # ------------------------------------------------------------- access
+
+    def write(self, addresses: int | np.ndarray, words: int | np.ndarray) -> None:
+        """Write words at the given addresses (refreshes any disturbed cells).
+
+        Writes are modelled as always succeeding: the paper scales only the
+        read path into failure and profiles read-after-write behaviour, with
+        write-assist assumed at the margins considered.
+        """
+        addresses = self._check_addresses(addresses)
+        words = np.atleast_1d(np.asarray(words, dtype=np.uint64)) & np.uint64(self.word_mask)
+        if words.shape != addresses.shape:
+            if words.size == 1:
+                words = np.full(addresses.shape, words[0], dtype=np.uint64)
+            else:
+                raise ValueError("addresses and words must have matching lengths")
+        self.data_bits[addresses] = self._words_to_bits(words)
+        self.write_count += int(addresses.size)
+
+    def read(
+        self,
+        addresses: int | np.ndarray,
+        voltage: float = calibration.NOMINAL_VOLTAGE,
+        temperature: float = calibration.NOMINAL_TEMPERATURE,
+    ) -> np.ndarray:
+        """Read words at the given addresses under a supply voltage.
+
+        Cells whose effective V_min,read exceeds ``voltage`` are
+        flipped to their preferred state *in storage* (destructive read) and
+        the returned words reflect the corruption.
+        """
+        addresses = self._check_addresses(addresses)
+        if voltage <= 0:
+            raise ValueError("voltage must be positive")
+        vmin = self.effective_vmin(temperature)[addresses]
+        disturbed = vmin > float(voltage)
+        bits = self.data_bits[addresses]
+        preferred = self.cells.preferred_state[addresses]
+        new_bits = np.where(disturbed, preferred, bits)
+        self.data_bits[addresses] = new_bits
+        self.read_count += int(addresses.size)
+        return self._bits_to_words(new_bits)
+
+    def read_all(
+        self,
+        voltage: float = calibration.NOMINAL_VOLTAGE,
+        temperature: float = calibration.NOMINAL_TEMPERATURE,
+    ) -> np.ndarray:
+        """Read every word in address order."""
+        return self.read(np.arange(self.num_words), voltage, temperature)
+
+    def write_all(self, words: np.ndarray) -> None:
+        """Write the full bank contents in address order."""
+        words = np.asarray(words, dtype=np.uint64)
+        if words.shape != (self.num_words,):
+            raise ValueError(f"expected {self.num_words} words, got {words.shape}")
+        self.write(np.arange(self.num_words), words)
+
+    # ---------------------------------------------------------- analysis
+
+    def stored_words(self) -> np.ndarray:
+        """Current storage contents without performing (destructive) reads."""
+        return self._bits_to_words(self.data_bits)
+
+    def fault_map_at(
+        self,
+        voltage: float,
+        temperature: float = calibration.NOMINAL_TEMPERATURE,
+    ) -> FaultMap:
+        """Ground-truth fault map at an operating point.
+
+        A cell appears in the map when a read at ``voltage`` would disturb it,
+        regardless of what it currently stores; the stuck value is its
+        preferred state.  The profiler (:mod:`repro.sram.profiler`) recovers
+        the same map through read-after-write/read-after-read measurements.
+        """
+        vmin = self.effective_vmin(temperature)
+        stuck = vmin > float(voltage)
+        return FaultMap.from_arrays(stuck, self.cells.preferred_state)
+
+    def marginal_cells(
+        self,
+        voltage: float,
+        temperature: float = calibration.NOMINAL_TEMPERATURE,
+        count: int = 8,
+    ) -> list[BitFault]:
+        """The ``count`` cells closest to failure *above* the operating voltage.
+
+        These are the candidates for in-situ canaries: they still read
+        correctly at ``voltage`` but will be the first to fail if the voltage
+        drops further.  Returned in order of increasing margin, encoded as
+        :class:`BitFault` records whose ``stuck_value`` is the preferred state
+        the cell would flip to.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        vmin = self.effective_vmin(temperature)
+        margin = vmin - float(voltage)
+        safe = margin <= 0.0  # cells that still read correctly at `voltage`
+        candidates = np.argwhere(safe)
+        if candidates.size == 0:
+            return []
+        flat_margin = -margin[safe.nonzero()]  # positive margins, smaller = more marginal
+        order = np.argsort(flat_margin)
+        selected = candidates[order[:count]]
+        return [
+            BitFault(
+                int(address),
+                int(bit),
+                int(self.cells.preferred_state[address, bit]),
+            )
+            for address, bit in selected
+        ]
+
+    def bit_error_count(self, reference_words: np.ndarray) -> int:
+        """Number of stored bits that differ from ``reference_words``."""
+        reference_words = np.asarray(reference_words, dtype=np.uint64)
+        if reference_words.shape != (self.num_words,):
+            raise ValueError(f"expected {self.num_words} words, got {reference_words.shape}")
+        reference_bits = self._words_to_bits(reference_words)
+        return int(np.sum(reference_bits != self.data_bits))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"SramBank({self.name!r}, {self.num_words}x{self.word_bits} bits, "
+            f"{self.size_bytes:.0f} B)"
+        )
+
+
+class WeightMemorySystem:
+    """The set of per-PE weight SRAM banks of an accelerator.
+
+    SNNAC has eight processing elements, each with a dedicated
+    voltage-scalable weight bank; all banks share one SRAM supply rail, so
+    the memory system exposes bank-level access plus system-level operations
+    (profiling every bank, total capacity, aggregate fault statistics).
+    """
+
+    def __init__(self, banks: list[SramBank]) -> None:
+        if not banks:
+            raise ValueError("at least one bank is required")
+        word_bits = {bank.word_bits for bank in banks}
+        if len(word_bits) != 1:
+            raise ValueError("all banks must share the same word length")
+        self.banks = list(banks)
+
+    @classmethod
+    def build(
+        cls,
+        num_banks: int,
+        words_per_bank: int,
+        word_bits: int,
+        variation_model: BitcellVariationModel | None = None,
+        seed: int | None = None,
+        name_prefix: str = "pe",
+    ) -> "WeightMemorySystem":
+        """Construct ``num_banks`` banks with independent variation samples."""
+        if num_banks <= 0:
+            raise ValueError("num_banks must be positive")
+        root = np.random.default_rng(seed)
+        banks = []
+        for index in range(num_banks):
+            banks.append(
+                SramBank(
+                    words_per_bank,
+                    word_bits,
+                    variation_model=variation_model,
+                    seed=np.random.default_rng(root.integers(0, 2**63 - 1)),
+                    name=f"{name_prefix}{index}.weights",
+                )
+            )
+        return cls(banks)
+
+    def __len__(self) -> int:
+        return len(self.banks)
+
+    def __getitem__(self, index: int) -> SramBank:
+        return self.banks[index]
+
+    def __iter__(self):
+        return iter(self.banks)
+
+    @property
+    def word_bits(self) -> int:
+        return self.banks[0].word_bits
+
+    @property
+    def total_words(self) -> int:
+        return sum(bank.num_words for bank in self.banks)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(bank.size_bits for bank in self.banks)
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bits / 8.0
+
+    def fault_maps_at(
+        self,
+        voltage: float,
+        temperature: float = calibration.NOMINAL_TEMPERATURE,
+    ) -> list[FaultMap]:
+        """Ground-truth fault maps for every bank at an operating point."""
+        return [bank.fault_map_at(voltage, temperature) for bank in self.banks]
+
+    def fault_rate_at(
+        self,
+        voltage: float,
+        temperature: float = calibration.NOMINAL_TEMPERATURE,
+    ) -> float:
+        """Aggregate bit-level fault rate across all banks."""
+        faults = sum(m.num_faults for m in self.fault_maps_at(voltage, temperature))
+        return faults / float(self.total_bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"WeightMemorySystem({len(self.banks)} banks, "
+            f"{self.total_bytes / 1024:.1f} KiB total)"
+        )

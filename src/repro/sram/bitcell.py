@@ -1,0 +1,224 @@
+"""6T SRAM bit-cell variation models.
+
+Each 6T bit-cell has a mismatch-induced static offset that gives it a
+"preferred state"; when the supply voltage drops below the cell's
+V_min,read, a read flips the cell to that preferred state and the
+(now incorrect) value persists across subsequent reads.  MATIC exploits
+exactly this behaviour: the failures are random in space but *stable* in
+value, so they can be profiled once and trained around.
+
+Two interchangeable models are provided:
+
+:class:`GaussianVminModel`
+    V_min,read is Gaussian across cells — the standard outcome of a
+    SPICE Monte-Carlo with Gaussian threshold-voltage mismatch, and the model used
+    by the paper's simulated-fault study (Fig. 5).
+
+:class:`EmpiricalVminModel`
+    V_min,read is drawn by inverse-transform sampling from a
+    measured/bench-marked failure-rate-vs-voltage curve (the Fig. 9a anchor
+    points by default), so the population statistics reproduce the measured
+    curve by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import calibration
+
+__all__ = [
+    "BitcellVariationModel",
+    "GaussianVminModel",
+    "EmpiricalVminModel",
+    "BitcellPopulation",
+]
+
+
+@dataclass
+class BitcellPopulation:
+    """Sampled per-cell parameters for an array of bit-cells.
+
+    Attributes
+    ----------
+    vmin_read:
+        Per-cell read-stability failure voltage at the reference temperature,
+        shape ``(num_words, word_bits)``.
+    preferred_state:
+        Per-cell preferred storage state (0 or 1), the value the cell flips
+        to when disturbed, same shape.
+    """
+
+    vmin_read: np.ndarray
+    preferred_state: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.vmin_read = np.asarray(self.vmin_read, dtype=float)
+        self.preferred_state = np.asarray(self.preferred_state, dtype=np.uint8)
+        if self.vmin_read.shape != self.preferred_state.shape:
+            raise ValueError("vmin_read and preferred_state shapes must match")
+        if np.any((self.preferred_state != 0) & (self.preferred_state != 1)):
+            raise ValueError("preferred_state must contain only 0/1")
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.vmin_read.shape
+
+    @property
+    def num_cells(self) -> int:
+        return int(self.vmin_read.size)
+
+
+class BitcellVariationModel:
+    """Base class for bit-cell V_min,read variation models."""
+
+    def sample(
+        self, num_words: int, word_bits: int, rng: np.random.Generator
+    ) -> BitcellPopulation:
+        """Sample per-cell parameters for an array of the given geometry."""
+        raise NotImplementedError
+
+    def failure_probability(self, voltage: float | np.ndarray) -> np.ndarray:
+        """Probability that a random cell fails a read at ``voltage`` (25 °C)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def effective_vmin(
+        vmin_read: np.ndarray,
+        temperature: float,
+        temperature_coefficient: float = calibration.TEMPERATURE_COEFFICIENT,
+        reference_temperature: float = calibration.NOMINAL_TEMPERATURE,
+    ) -> np.ndarray:
+        """Shift V_min,read for ambient temperature.
+
+        Below the temperature-inversion point of the 65 nm process, higher
+        temperature improves transistor drive and *lowers* the failure
+        voltage; the coefficient is negative so the shift follows the inverse
+        voltage/temperature relationship seen in Fig. 12.
+        """
+        delta = temperature_coefficient * (float(temperature) - reference_temperature)
+        return np.asarray(vmin_read, dtype=float) + delta
+
+
+class GaussianVminModel(BitcellVariationModel):
+    """Gaussian V_min,read across the cell population.
+
+    Parameters default to the calibration in :mod:`repro.sram.calibration`,
+    which reproduces the qualitative shape of the paper's measured failure
+    curve (first failures ≈0.53 V, ~half the cells failed at 0.46 V, nearly
+    all failed at 0.40 V).
+    """
+
+    def __init__(
+        self,
+        mean: float = calibration.VMIN_READ_MEAN,
+        sigma: float = calibration.VMIN_READ_SIGMA,
+        preferred_one_probability: float = 0.5,
+    ) -> None:
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if not 0.0 <= preferred_one_probability <= 1.0:
+            raise ValueError("preferred_one_probability must be in [0, 1]")
+        self.mean = float(mean)
+        self.sigma = float(sigma)
+        self.preferred_one_probability = float(preferred_one_probability)
+
+    def sample(
+        self, num_words: int, word_bits: int, rng: np.random.Generator
+    ) -> BitcellPopulation:
+        if num_words <= 0 or word_bits <= 0:
+            raise ValueError("array geometry must be positive")
+        vmin = rng.normal(self.mean, self.sigma, size=(num_words, word_bits))
+        preferred = (
+            rng.random(size=(num_words, word_bits)) < self.preferred_one_probability
+        ).astype(np.uint8)
+        return BitcellPopulation(vmin_read=vmin, preferred_state=preferred)
+
+    def failure_probability(self, voltage: float | np.ndarray) -> np.ndarray:
+        voltage = np.asarray(voltage, dtype=float)
+        z = (self.mean - voltage) / (self.sigma * np.sqrt(2.0))
+        return 0.5 * (1.0 + _erf(z))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"GaussianVminModel(mean={self.mean}, sigma={self.sigma})"
+
+
+class EmpiricalVminModel(BitcellVariationModel):
+    """V_min,read sampled to match an empirical failure-rate curve.
+
+    ``anchors`` is a sequence of ``(voltage, failure_rate)`` pairs; the
+    failure rate must decrease with voltage.  Cells are sampled by
+    inverse-transform sampling of that curve (log-linear interpolation in the
+    rate axis), so the population's failure-rate-vs-voltage statistics match
+    the anchors by construction.
+    """
+
+    def __init__(
+        self,
+        anchors: tuple[tuple[float, float], ...] = calibration.FIG9A_ANCHORS,
+        preferred_one_probability: float = 0.5,
+    ) -> None:
+        pairs = sorted((float(v), float(r)) for v, r in anchors)
+        if len(pairs) < 2:
+            raise ValueError("at least two anchor points are required")
+        voltages = np.array([p[0] for p in pairs])
+        rates = np.array([p[1] for p in pairs])
+        if np.any(rates <= 0.0) or np.any(rates > 1.0):
+            raise ValueError("failure rates must be in (0, 1]")
+        if np.any(np.diff(rates) >= 0):
+            raise ValueError("failure rate must strictly decrease with voltage")
+        self.voltages = voltages
+        self.rates = rates
+        self.preferred_one_probability = float(preferred_one_probability)
+
+    def failure_probability(self, voltage: float | np.ndarray) -> np.ndarray:
+        voltage = np.asarray(voltage, dtype=float)
+        log_rates = np.log10(self.rates)
+        interp = np.interp(voltage, self.voltages, log_rates)
+        result = 10.0**interp
+        # outside the anchored range, clamp to the extreme anchor rates
+        result = np.where(voltage <= self.voltages[0], self.rates[0], result)
+        result = np.where(voltage >= self.voltages[-1], self.rates[-1], result)
+        return result
+
+    def sample(
+        self, num_words: int, word_bits: int, rng: np.random.Generator
+    ) -> BitcellPopulation:
+        if num_words <= 0 or word_bits <= 0:
+            raise ValueError("array geometry must be positive")
+        # Inverse-transform sampling: failure_probability(V) is the CDF of
+        # Vmin evaluated "from above" (a cell fails at V when Vmin > V), i.e.
+        # P(Vmin > V) = rate(V).  So Vmin = rate^{-1}(u) for u ~ U(0, 1].
+        u = rng.random(size=(num_words, word_bits))
+        u = np.clip(u, self.rates[-1], self.rates[0])
+        # interpolate voltage as a function of log-rate (monotone decreasing)
+        log_rates = np.log10(self.rates)
+        vmin = np.interp(np.log10(u), log_rates[::-1], self.voltages[::-1])
+        preferred = (
+            rng.random(size=(num_words, word_bits)) < self.preferred_one_probability
+        ).astype(np.uint8)
+        return BitcellPopulation(vmin_read=vmin, preferred_state=preferred)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"EmpiricalVminModel({len(self.voltages)} anchors)"
+
+
+def _erf(x: np.ndarray) -> np.ndarray:
+    """Vectorized error function (Abramowitz & Stegun 7.1.26 approximation).
+
+    Avoids a scipy dependency in the core library; max absolute error is
+    below 1.5e-7, far tighter than the calibration accuracy of the model.
+    """
+    x = np.asarray(x, dtype=float)
+    sign = np.sign(x)
+    ax = np.abs(x)
+    t = 1.0 / (1.0 + 0.3275911 * ax)
+    poly = t * (
+        0.254829592
+        + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429)))
+    )
+    return sign * (1.0 - poly * np.exp(-ax * ax))

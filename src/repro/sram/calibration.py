@@ -1,0 +1,89 @@
+"""Calibration constants for the SRAM failure model.
+
+The paper characterizes its compiled weight SRAMs (65 nm GP, rated 0.9 V) as:
+
+* first read failures appear at ~0.53 V at room temperature (Fig. 9a),
+* essentially all reads fail at ~0.40 V (Fig. 9a),
+* the energy-optimal SRAM voltage of 0.50 V comes with a "28 % SRAM bit-cell
+  failure rate" (Section V-B), and
+* the memory-adaptive models remain usable down to 0.46 V (Table I).
+
+Those four statements cannot all be satisfied by a single bit-level failure
+probability curve (a 28 % *bit* failure rate at 0.50 V would imply an almost
+fully-failed array at 0.46 V, which would make the reported 15.6 % adaptive
+MNIST error impossible).  We therefore interpret the 28 % figure as the
+fraction of SRAM *words* containing at least one failed bit — with 16-bit
+words this corresponds to a ~2–4 % bit-level rate — and calibrate the
+bit-level V_min,read distribution so that:
+
+* bit failures begin around 0.53–0.54 V,
+* the bit-level rate is ~2 % at the 0.50 V energy-optimal point (which makes
+  the *word-level* incidence with 16-bit words ≈ 28 %, matching the paper's
+  figure),
+* a few percent of bit-cells fail by 0.46 V (the voltage where the paper's
+  application error "increases significantly" while its memory-adaptive
+  models remain usable), and
+* nearly all bit-cells (hence every word) fail by 0.40–0.42 V.
+
+This preserves every behaviour the evaluation depends on (smooth error/energy
+trade-off, naive collapse right after the point of first failure, adaptive
+models usable down to 0.46 V) while remaining physically monotone.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NOMINAL_VOLTAGE",
+    "VMIN_READ_MEAN",
+    "VMIN_READ_SIGMA",
+    "TEMPERATURE_COEFFICIENT",
+    "NOMINAL_TEMPERATURE",
+    "FIRST_FAILURE_VOLTAGE",
+    "ALL_FAIL_VOLTAGE",
+    "ENERGY_OPTIMAL_SRAM_VOLTAGE",
+    "FIG9A_ANCHORS",
+]
+
+#: SRAM rated (nominal) supply voltage, volts.
+NOMINAL_VOLTAGE = 0.9
+
+#: Mean of the per-bit-cell read-stability failure voltage, volts.
+VMIN_READ_MEAN = 0.46
+
+#: Standard deviation of the per-bit-cell failure voltage, volts.
+VMIN_READ_SIGMA = 0.022
+
+#: Shift of V_min,read per degree Celsius (volts / °C).  The experiments run
+#: below the temperature-inversion point of the 65 nm process, so higher
+#: temperature *lowers* the required SRAM voltage (Fig. 12's inverse
+#: relationship); the coefficient is therefore negative.
+TEMPERATURE_COEFFICIENT = -0.25e-3
+
+#: Reference temperature for the calibration above, °C.
+NOMINAL_TEMPERATURE = 25.0
+
+#: Voltage at which the first bit failures appear (paper, Fig. 9a).
+FIRST_FAILURE_VOLTAGE = 0.53
+
+#: Voltage at which essentially every read fails (paper, Fig. 9a).
+ALL_FAIL_VOLTAGE = 0.40
+
+#: SRAM voltage at the minimum-energy point (paper, Section V-B).
+ENERGY_OPTIMAL_SRAM_VOLTAGE = 0.50
+
+#: (voltage, bit-level read-failure rate) anchor points approximating the
+#: shape of the measured curve in Fig. 9a under the word-level reading of the
+#: 28 % figure discussed above.  Used by the empirical distribution model and
+#: by the Fig. 9a regeneration benchmark.
+FIG9A_ANCHORS: tuple[tuple[float, float], ...] = (
+    (0.40, 0.97),
+    (0.42, 0.60),
+    (0.44, 0.20),
+    (0.46, 0.06),
+    (0.48, 0.035),
+    (0.50, 0.0215),
+    (0.51, 0.010),
+    (0.52, 1.2e-3),
+    (0.53, 1.5e-4),
+    (0.54, 2.0e-5),
+)

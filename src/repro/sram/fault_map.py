@@ -1,0 +1,235 @@
+"""Fault maps: the profiled description of SRAM read-stability failures.
+
+A fault map records, for one SRAM bank, every bit-cell that fails reads at a
+given operating point: its word address, bit index, and *polarity* (the value
+the cell is stuck at — its preferred state).  The map is the single artifact
+shared between:
+
+* the memory-adaptive trainer, which converts it to AND/OR injection masks
+  (Fig. 4 of the paper),
+* the SRAM array model, which uses it to corrupt reads, and
+* canary selection, which needs to know which cells are marginal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BitFault", "FaultMap"]
+
+
+@dataclass(frozen=True)
+class BitFault:
+    """A single stuck bit-cell.
+
+    Attributes
+    ----------
+    address:
+        Word address within the SRAM bank.
+    bit:
+        Bit index within the word; 0 is the least-significant bit.
+    stuck_value:
+        The value the cell reads as once disturbed (its preferred state).
+    """
+
+    address: int
+    bit: int
+    stuck_value: int
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+        if self.bit < 0:
+            raise ValueError("bit index must be non-negative")
+        if self.stuck_value not in (0, 1):
+            raise ValueError("stuck_value must be 0 or 1")
+
+
+class FaultMap:
+    """The set of stuck bit-cells of one SRAM bank at one operating point.
+
+    Parameters
+    ----------
+    num_words:
+        Number of words in the bank.
+    word_bits:
+        Word length in bits.
+    faults:
+        Iterable of :class:`BitFault`; later entries for the same (address,
+        bit) override earlier ones.
+    """
+
+    def __init__(
+        self,
+        num_words: int,
+        word_bits: int,
+        faults: list[BitFault] | None = None,
+    ) -> None:
+        if num_words <= 0 or word_bits <= 0:
+            raise ValueError("num_words and word_bits must be positive")
+        if word_bits > 64:
+            raise ValueError("word_bits must be at most 64")
+        self.num_words = int(num_words)
+        self.word_bits = int(word_bits)
+        self._faults: dict[tuple[int, int], int] = {}
+        for fault in faults or []:
+            self.add(fault)
+
+    # --------------------------------------------------------------- edit
+
+    def add(self, fault: BitFault) -> None:
+        """Add (or overwrite) a stuck bit."""
+        if fault.address >= self.num_words:
+            raise ValueError(
+                f"address {fault.address} out of range (num_words={self.num_words})"
+            )
+        if fault.bit >= self.word_bits:
+            raise ValueError(
+                f"bit {fault.bit} out of range (word_bits={self.word_bits})"
+            )
+        self._faults[(fault.address, fault.bit)] = fault.stuck_value
+
+    def merge(self, other: "FaultMap") -> "FaultMap":
+        """Union of two fault maps over the same geometry (other wins ties)."""
+        if (other.num_words, other.word_bits) != (self.num_words, self.word_bits):
+            raise ValueError("fault maps cover different SRAM geometries")
+        merged = FaultMap(self.num_words, self.word_bits, self.faults)
+        for fault in other.faults:
+            merged.add(fault)
+        return merged
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def faults(self) -> list[BitFault]:
+        """All stuck bits, sorted by (address, bit)."""
+        return [
+            BitFault(address, bit, value)
+            for (address, bit), value in sorted(self._faults.items())
+        ]
+
+    @property
+    def num_faults(self) -> int:
+        return len(self._faults)
+
+    @property
+    def fault_rate(self) -> float:
+        """Fraction of bit-cells in the bank that are stuck."""
+        return self.num_faults / float(self.num_words * self.word_bits)
+
+    @property
+    def faulty_addresses(self) -> np.ndarray:
+        """Sorted unique word addresses containing at least one stuck bit."""
+        return np.unique([address for address, _ in self._faults])
+
+    def faults_at(self, address: int) -> list[BitFault]:
+        """Stuck bits within one word."""
+        return [f for f in self.faults if f.address == address]
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return tuple(key) in self._faults
+
+    def __len__(self) -> int:
+        return self.num_faults
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultMap):
+            return NotImplemented
+        return (
+            self.num_words == other.num_words
+            and self.word_bits == other.word_bits
+            and self._faults == other._faults
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"FaultMap({self.num_faults} faults / "
+            f"{self.num_words}x{self.word_bits} bits, "
+            f"rate={self.fault_rate:.4f})"
+        )
+
+    # -------------------------------------------------------------- masks
+
+    def masks(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return per-word ``(and_mask, or_mask)`` arrays (uint64).
+
+        Applying a fault map to a stored word ``w`` is
+        ``(w & and_mask) | or_mask``:
+
+        * bits stuck at 0 are cleared by a 0 in the AND mask, and
+        * bits stuck at 1 are set by a 1 in the OR mask,
+
+        exactly the injection-masking operation of Fig. 4.
+        """
+        and_masks = np.full(self.num_words, (1 << self.word_bits) - 1, dtype=np.uint64)
+        or_masks = np.zeros(self.num_words, dtype=np.uint64)
+        for (address, bit), value in self._faults.items():
+            if value == 0:
+                and_masks[address] &= np.uint64(~(1 << bit) & ((1 << self.word_bits) - 1))
+            else:
+                or_masks[address] |= np.uint64(1 << bit)
+        return and_masks, or_masks
+
+    def apply(self, words: np.ndarray) -> np.ndarray:
+        """Corrupt an array of stored words according to the fault map.
+
+        ``words`` must have length ``num_words`` (element ``i`` is the word
+        at address ``i``); a corrupted copy is returned.
+        """
+        words = np.asarray(words, dtype=np.uint64)
+        if words.shape != (self.num_words,):
+            raise ValueError(
+                f"expected {self.num_words} words, got shape {words.shape}"
+            )
+        and_masks, or_masks = self.masks()
+        return (words & and_masks) | or_masks
+
+    # ------------------------------------------------------- constructors
+
+    @classmethod
+    def from_arrays(
+        cls,
+        stuck_mask: np.ndarray,
+        stuck_values: np.ndarray,
+    ) -> "FaultMap":
+        """Build a fault map from boolean/value bit matrices.
+
+        ``stuck_mask`` is a boolean array of shape ``(num_words, word_bits)``
+        marking stuck cells; ``stuck_values`` holds the stuck value for every
+        cell (values of non-stuck cells are ignored).
+        """
+        stuck_mask = np.asarray(stuck_mask, dtype=bool)
+        stuck_values = np.asarray(stuck_values)
+        if stuck_mask.ndim != 2 or stuck_mask.shape != stuck_values.shape:
+            raise ValueError("stuck_mask and stuck_values must be equal 2-D shapes")
+        num_words, word_bits = stuck_mask.shape
+        fault_map = cls(num_words, word_bits)
+        for address, bit in zip(*np.nonzero(stuck_mask)):
+            fault_map.add(BitFault(int(address), int(bit), int(stuck_values[address, bit])))
+        return fault_map
+
+    @classmethod
+    def random(
+        cls,
+        num_words: int,
+        word_bits: int,
+        fault_rate: float,
+        rng: np.random.Generator | int | None = None,
+        stuck_one_probability: float = 0.5,
+    ) -> "FaultMap":
+        """Generate a random fault map with the given bit-level fault rate.
+
+        This is the model used for the paper's simulated-fault study (Fig. 5)
+        where "a proportion of randomly selected weight bits are statically
+        flipped", with the stuck polarity drawn uniformly by default.
+        """
+        if not 0.0 <= fault_rate <= 1.0:
+            raise ValueError("fault_rate must be in [0, 1]")
+        if not 0.0 <= stuck_one_probability <= 1.0:
+            raise ValueError("stuck_one_probability must be in [0, 1]")
+        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        stuck = rng.random((num_words, word_bits)) < fault_rate
+        values = (rng.random((num_words, word_bits)) < stuck_one_probability).astype(int)
+        return cls.from_arrays(stuck, values)

@@ -1,0 +1,172 @@
+"""Post-silicon SRAM profiling.
+
+The paper's compile-time profiling step performs a read-after-write and a
+read-after-read on every SRAM address at the target operating voltage, and
+records the word address, bit index, and error polarity of every failing
+bit-cell (Section III-A).  :class:`SramProfiler` reproduces that procedure on
+the behavioural SRAM model: it is intentionally written against the *public
+access interface* of :class:`~repro.sram.array.SramBank` (write/read only)
+rather than the model's ground-truth state, so the profiling flow is the same
+one that would run against real hardware through a debug interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import calibration
+from .array import SramBank, WeightMemorySystem
+from .fault_map import BitFault, FaultMap
+
+__all__ = ["ProfileReport", "SramProfiler"]
+
+
+@dataclass
+class ProfileReport:
+    """Result of profiling one SRAM bank at one operating point."""
+
+    bank_name: str
+    voltage: float
+    temperature: float
+    fault_map: FaultMap
+    #: number of bit errors seen on the read-after-write pass
+    read_after_write_errors: int = 0
+    #: number of bit errors seen on the read-after-read pass
+    read_after_read_errors: int = 0
+    #: per-pattern error counts, keyed by pattern name
+    pattern_errors: dict = field(default_factory=dict)
+
+    @property
+    def fault_rate(self) -> float:
+        return self.fault_map.fault_rate
+
+
+class SramProfiler:
+    """Profile read-stability failures of weight SRAM banks.
+
+    Parameters
+    ----------
+    test_patterns:
+        Data backgrounds written before reading.  The defaults (all-zeros and
+        all-ones) expose every stuck cell regardless of its preferred state:
+        a cell preferring 1 only corrupts data when a 0 is stored in it, and
+        vice versa.
+    restore_contents:
+        When True (default), the profiler saves the bank's pre-profiling
+        contents and rewrites them afterwards, so profiling does not clobber
+        deployed weights.
+    """
+
+    def __init__(
+        self,
+        test_patterns: dict[str, int] | None = None,
+        restore_contents: bool = True,
+    ) -> None:
+        self.test_patterns = dict(test_patterns) if test_patterns else {}
+        self.restore_contents = bool(restore_contents)
+
+    def _patterns_for(self, bank: SramBank) -> dict[str, int]:
+        if self.test_patterns:
+            return {
+                name: value & bank.word_mask for name, value in self.test_patterns.items()
+            }
+        return {"zeros": 0, "ones": bank.word_mask}
+
+    # ------------------------------------------------------------------
+
+    def profile_bank(
+        self,
+        bank: SramBank,
+        voltage: float,
+        temperature: float = calibration.NOMINAL_TEMPERATURE,
+    ) -> ProfileReport:
+        """Run the read-after-write / read-after-read procedure on one bank."""
+        if voltage <= 0:
+            raise ValueError("voltage must be positive")
+        saved = bank.stored_words() if self.restore_contents else None
+        addresses = np.arange(bank.num_words)
+        fault_map = FaultMap(bank.num_words, bank.word_bits)
+        raw_errors = 0
+        rar_errors = 0
+        pattern_errors: dict[str, int] = {}
+
+        for pattern_name, pattern in self._patterns_for(bank).items():
+            expected = np.full(bank.num_words, pattern, dtype=np.uint64)
+            # Write the background at nominal voltage, then read twice at the
+            # target voltage: the first read exposes read-disturb flips
+            # (read-after-write), the second confirms the flipped cells stay
+            # stable at their preferred state (read-after-read).
+            bank.write(addresses, expected)
+            first_read = bank.read(addresses, voltage=voltage, temperature=temperature)
+            second_read = bank.read(addresses, voltage=voltage, temperature=temperature)
+
+            first_diff = self._bit_errors(expected, first_read, bank.word_bits)
+            second_diff = self._bit_errors(expected, second_read, bank.word_bits)
+            raw_errors += int(first_diff.sum())
+            rar_errors += int(second_diff.sum())
+            pattern_errors[pattern_name] = int(second_diff.sum())
+
+            # Record every erroneous bit with the polarity it reads as.  Using
+            # the second read means only stable (trainable-around) failures
+            # enter the map, matching the paper's observation that disturbed
+            # cells provide stable read outputs.
+            observed_bits = self._words_to_bits(second_read, bank.word_bits)
+            for address, bit in zip(*np.nonzero(second_diff)):
+                fault_map.add(
+                    BitFault(int(address), int(bit), int(observed_bits[address, bit]))
+                )
+
+        if saved is not None:
+            bank.write(addresses, saved)
+
+        return ProfileReport(
+            bank_name=bank.name,
+            voltage=float(voltage),
+            temperature=float(temperature),
+            fault_map=fault_map,
+            read_after_write_errors=raw_errors,
+            read_after_read_errors=rar_errors,
+            pattern_errors=pattern_errors,
+        )
+
+    def profile_memory_system(
+        self,
+        memory: WeightMemorySystem,
+        voltage: float,
+        temperature: float = calibration.NOMINAL_TEMPERATURE,
+    ) -> list[ProfileReport]:
+        """Profile every weight bank of an accelerator memory system."""
+        return [self.profile_bank(bank, voltage, temperature) for bank in memory]
+
+    def failure_rate_curve(
+        self,
+        bank: SramBank,
+        voltages: np.ndarray,
+        temperature: float = calibration.NOMINAL_TEMPERATURE,
+    ) -> np.ndarray:
+        """Measured bit-level failure rate at each voltage (Fig. 9a's curve)."""
+        voltages = np.asarray(voltages, dtype=float)
+        rates = np.empty_like(voltages)
+        for index, voltage in enumerate(voltages):
+            report = self.profile_bank(bank, float(voltage), temperature)
+            rates[index] = report.fault_rate
+        return rates
+
+    # ------------------------------------------------------------ helpers
+
+    @staticmethod
+    def _words_to_bits(words: np.ndarray, word_bits: int) -> np.ndarray:
+        shifts = np.arange(word_bits, dtype=np.uint64)
+        return ((np.asarray(words, dtype=np.uint64)[..., None] >> shifts) & np.uint64(1)).astype(
+            np.uint8
+        )
+
+    @classmethod
+    def _bit_errors(
+        cls, expected: np.ndarray, observed: np.ndarray, word_bits: int
+    ) -> np.ndarray:
+        return cls._words_to_bits(expected, word_bits) != cls._words_to_bits(
+            observed, word_bits
+        )

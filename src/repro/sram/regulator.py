@@ -1,0 +1,86 @@
+"""Digitally-programmable voltage regulator model.
+
+The test chip's SRAM supply is driven by external digitally-programmable
+regulators; the in-situ canary controller (Algorithm 1) adjusts the SRAM rail
+in fixed ``Δv`` steps through this interface.  The model quantizes requested
+voltages to the regulator's step size and clamps to its output range, and
+keeps a history of programmed values so experiments (e.g. the Fig. 12
+temperature-tracking run) can plot the control trajectory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["VoltageRegulator"]
+
+
+class VoltageRegulator:
+    """A programmable supply-rail regulator with a fixed step size.
+
+    Parameters
+    ----------
+    initial_voltage:
+        Output voltage at power-up, volts.
+    step:
+        Programming resolution (``delta-v`` in Algorithm 1), volts.
+    min_voltage / max_voltage:
+        Output range; requests outside the range are clamped.
+    """
+
+    def __init__(
+        self,
+        initial_voltage: float = 0.9,
+        step: float = 0.005,
+        min_voltage: float = 0.3,
+        max_voltage: float = 1.2,
+    ) -> None:
+        if step <= 0:
+            raise ValueError("step must be positive")
+        if min_voltage <= 0 or max_voltage <= min_voltage:
+            raise ValueError("voltage range must satisfy 0 < min < max")
+        self.step = float(step)
+        self.min_voltage = float(min_voltage)
+        self.max_voltage = float(max_voltage)
+        self._voltage = self._quantize(initial_voltage)
+        self.history: list[float] = [self._voltage]
+
+    # ------------------------------------------------------------------
+
+    def _quantize(self, voltage: float) -> float:
+        voltage = float(np.clip(voltage, self.min_voltage, self.max_voltage))
+        steps = round(voltage / self.step)
+        return float(np.clip(steps * self.step, self.min_voltage, self.max_voltage))
+
+    @property
+    def voltage(self) -> float:
+        """Current output voltage."""
+        return self._voltage
+
+    def set_voltage(self, voltage: float) -> float:
+        """Program a new output voltage; returns the quantized value applied."""
+        self._voltage = self._quantize(voltage)
+        self.history.append(self._voltage)
+        return self._voltage
+
+    def adjust(self, delta: float) -> float:
+        """Move the output voltage by ``delta`` volts (positive or negative)."""
+        return self.set_voltage(self._voltage + float(delta))
+
+    def step_down(self) -> float:
+        """Lower the output by one programming step."""
+        return self.adjust(-self.step)
+
+    def step_up(self) -> float:
+        """Raise the output by one programming step."""
+        return self.adjust(self.step)
+
+    def reset_history(self) -> None:
+        """Clear the programming history (keeps the current voltage)."""
+        self.history = [self._voltage]
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"VoltageRegulator({self._voltage:.3f} V, step={self.step * 1e3:.1f} mV, "
+            f"range=[{self.min_voltage}, {self.max_voltage}] V)"
+        )

@@ -1,0 +1,106 @@
+"""Environmental (PVT) variation models and the temperature chamber.
+
+The paper's Fig. 12 experiment sweeps ambient temperature from −15 °C to
+90 °C in 15 °C steps while the in-situ canary controller re-adjusts the SRAM
+voltage.  :class:`EnvironmentalConditions` carries the ambient state that the
+SRAM and energy models consume, :class:`ProcessCorner` captures global
+process skew (a die-to-die shift of every cell's V_min,read), and
+:class:`TemperatureChamber` generates the sweep schedule used by the
+experiment driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import calibration
+
+__all__ = [
+    "EnvironmentalConditions",
+    "ProcessCorner",
+    "TemperatureChamber",
+    "TYPICAL_CORNER",
+    "SLOW_CORNER",
+    "FAST_CORNER",
+]
+
+
+@dataclass(frozen=True)
+class EnvironmentalConditions:
+    """Ambient operating conditions seen by the chip."""
+
+    temperature: float = calibration.NOMINAL_TEMPERATURE
+    #: static offset on the SRAM rail from supply-grid IR drop / noise, volts
+    supply_noise: float = 0.0
+
+    def with_temperature(self, temperature: float) -> "EnvironmentalConditions":
+        return EnvironmentalConditions(
+            temperature=float(temperature), supply_noise=self.supply_noise
+        )
+
+
+@dataclass(frozen=True)
+class ProcessCorner:
+    """Die-level process skew.
+
+    ``vmin_shift`` moves every bit-cell's V_min,read by a constant
+    amount (volts); positive values model a slow/weak corner that fails at
+    higher voltages.  ``leakage_scale`` multiplies the leakage power of the
+    energy model.
+    """
+
+    name: str = "TT"
+    vmin_shift: float = 0.0
+    leakage_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.leakage_scale <= 0:
+            raise ValueError("leakage_scale must be positive")
+
+
+TYPICAL_CORNER = ProcessCorner("TT", vmin_shift=0.0, leakage_scale=1.0)
+SLOW_CORNER = ProcessCorner("SS", vmin_shift=+0.02, leakage_scale=0.7)
+FAST_CORNER = ProcessCorner("FF", vmin_shift=-0.02, leakage_scale=1.6)
+
+
+class TemperatureChamber:
+    """Ambient-temperature schedule generator for the Fig. 12 experiment.
+
+    The paper's procedure: initialize at the nominal temperature, sweep down
+    to −15 °C, then sweep up from −15 °C to 90 °C in 15 °C steps, letting the
+    chamber stabilize at each point.
+    """
+
+    def __init__(
+        self,
+        start: float = calibration.NOMINAL_TEMPERATURE,
+        low: float = -15.0,
+        high: float = 90.0,
+        step: float = 15.0,
+    ) -> None:
+        if step <= 0:
+            raise ValueError("step must be positive")
+        if not low <= start <= high:
+            raise ValueError("start temperature must lie within [low, high]")
+        self.start = float(start)
+        self.low = float(low)
+        self.high = float(high)
+        self.step = float(step)
+
+    def schedule(self) -> np.ndarray:
+        """Return the ordered sequence of stabilized temperature points."""
+        down = np.arange(self.start, self.low - 1e-9, -self.step)
+        up = np.arange(self.low, self.high + 1e-9, self.step)
+        points = np.concatenate([down, up])
+        # drop the duplicated low point where the down sweep meets the up sweep
+        deduped = [points[0]]
+        for value in points[1:]:
+            if abs(value - deduped[-1]) > 1e-9:
+                deduped.append(value)
+        return np.asarray(deduped, dtype=float)
+
+    def conditions(self) -> list[EnvironmentalConditions]:
+        """The schedule expressed as :class:`EnvironmentalConditions`."""
+        return [EnvironmentalConditions(temperature=t) for t in self.schedule()]

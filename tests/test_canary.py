@@ -1,0 +1,176 @@
+"""Unit tests for in-situ canary selection and the runtime voltage controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerator import Snnac, SnnacConfig
+from repro.matic import CanaryBit, CanaryController, CanarySelector
+from repro.nn import Network
+from repro.quant import WeightQuantizer
+from repro.sram import EnvironmentalConditions
+
+
+@pytest.fixture()
+def deployed_chip():
+    chip = Snnac(SnnacConfig(num_pes=4, words_per_bank=64, seed=31))
+    network = Network("10-8-2", seed=1)
+    program = chip.deploy(network, WeightQuantizer(16, 13))
+    return chip, program
+
+
+class TestCanaryBit:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CanaryBit(0, 0, 0, expected_value=2)
+
+
+class TestCanarySelector:
+    def test_selects_requested_count_per_bank(self, deployed_chip):
+        chip, program = deployed_chip
+        selector = CanarySelector(canaries_per_bank=4, strategy="oracle")
+        canaries = selector.select(
+            chip.memory, 0.50, used_words_per_bank=program.placement.words_used_per_pe
+        )
+        assert len(canaries) == 4 * len(chip.memory)
+        per_bank = {}
+        for canary in canaries:
+            per_bank.setdefault(canary.bank, []).append(canary)
+        assert all(len(v) == 4 for v in per_bank.values())
+
+    def test_canaries_restricted_to_used_words(self, deployed_chip):
+        chip, program = deployed_chip
+        selector = CanarySelector(canaries_per_bank=4, strategy="oracle")
+        canaries = selector.select(
+            chip.memory, 0.50, used_words_per_bank=program.placement.words_used_per_pe
+        )
+        for canary in canaries:
+            assert canary.address < program.placement.words_used_per_pe[canary.bank]
+
+    def test_oracle_canaries_are_most_marginal_working_cells(self, deployed_chip):
+        chip, _ = deployed_chip
+        selector = CanarySelector(canaries_per_bank=3, strategy="oracle")
+        canaries = selector.select(chip.memory, 0.50)
+        for canary in canaries:
+            vmin = chip.memory[canary.bank].cells.vmin_read[canary.address, canary.bit]
+            assert vmin <= 0.50  # still working at the target voltage
+
+    def test_profiled_selection_close_to_oracle(self, deployed_chip):
+        """Profiled search finds cells whose V_min,read sits just below the
+        target voltage (within the search resolution)."""
+        chip, program = deployed_chip
+        selector = CanarySelector(
+            canaries_per_bank=3, strategy="profiled", search_step=0.005, search_depth=20
+        )
+        canaries = selector.select(
+            chip.memory, 0.50, used_words_per_bank=program.placement.words_used_per_pe
+        )
+        assert canaries, "profiled selection found no canaries"
+        for canary in canaries:
+            vmin = chip.memory[canary.bank].cells.vmin_read[canary.address, canary.bit]
+            assert 0.50 - 0.005 * 21 <= vmin <= 0.50
+
+    def test_expected_values_match_deployed_words(self, deployed_chip):
+        chip, program = deployed_chip
+        selector = CanarySelector(canaries_per_bank=2, strategy="oracle")
+        canaries = selector.select(
+            chip.memory, 0.50, used_words_per_bank=program.placement.words_used_per_pe
+        )
+        for canary in canaries:
+            word = int(chip.memory[canary.bank].stored_words()[canary.address])
+            assert ((word >> canary.bit) & 1) == canary.expected_value
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CanarySelector(canaries_per_bank=0)
+        with pytest.raises(ValueError):
+            CanarySelector(strategy="random")
+        with pytest.raises(ValueError):
+            CanarySelector(search_step=0.0)
+
+    def test_used_words_length_check(self, deployed_chip):
+        chip, _ = deployed_chip
+        with pytest.raises(ValueError):
+            CanarySelector(strategy="oracle").select(chip.memory, 0.5, used_words_per_bank=[1])
+
+
+class TestCanaryController:
+    def _controller(self, chip, program, **kwargs):
+        selector = CanarySelector(canaries_per_bank=4, strategy="oracle")
+        canaries = selector.select(
+            chip.memory, 0.50, used_words_per_bank=program.placement.words_used_per_pe
+        )
+        return CanaryController(chip, canaries, **kwargs)
+
+    def test_requires_canaries(self, deployed_chip):
+        chip, _ = deployed_chip
+        with pytest.raises(ValueError):
+            CanaryController(chip, [])
+
+    def test_check_states_clean_at_high_voltage(self, deployed_chip):
+        chip, program = deployed_chip
+        controller = self._controller(chip, program)
+        chip.sram_regulator.set_voltage(0.9)
+        assert controller.check_states() is False
+
+    def test_check_states_detects_failures_at_low_voltage(self, deployed_chip):
+        chip, program = deployed_chip
+        controller = self._controller(chip, program)
+        chip.sram_regulator.set_voltage(0.42)
+        assert controller.check_states() is True
+        controller.restore_states()
+
+    def test_regulate_converges_to_canary_boundary(self, deployed_chip):
+        chip, program = deployed_chip
+        controller = self._controller(chip, program, voltage_step=0.005)
+        trace = controller.regulate(safe_voltage=0.60)
+        # the boundary is the most marginal working cell at the 0.50 V target,
+        # so the final voltage lands just above it (plus the one-step margin)
+        assert 0.48 <= trace.final_voltage <= 0.56
+        assert trace.canary_failure_voltage is not None
+        assert trace.final_voltage > trace.canary_failure_voltage
+        assert chip.sram_regulator.voltage == pytest.approx(trace.final_voltage)
+
+    def test_regulate_restores_weight_state(self, deployed_chip):
+        chip, program = deployed_chip
+        x = np.random.default_rng(0).random((6, 10))
+        chip.sram_regulator.set_voltage(0.9)
+        reference = chip.predict(x)
+        controller = self._controller(chip, program, voltage_step=0.01)
+        controller.regulate(safe_voltage=0.60)
+        chip.sram_regulator.set_voltage(0.9)
+        chip.refresh_weights()
+        np.testing.assert_allclose(chip.predict(x), reference)
+
+    def test_regulate_respects_minimum_voltage(self, deployed_chip):
+        chip, program = deployed_chip
+        controller = self._controller(chip, program, minimum_voltage=0.55)
+        trace = controller.regulate(safe_voltage=0.60)
+        assert trace.final_voltage >= 0.55
+        assert trace.canary_failure_voltage is None
+
+    def test_regulation_tracks_temperature(self, deployed_chip):
+        chip, program = deployed_chip
+        controller = self._controller(chip, program, voltage_step=0.005)
+        chip.set_environment(EnvironmentalConditions(temperature=-15.0))
+        cold = controller.regulate(safe_voltage=0.60).final_voltage
+        chip.set_environment(EnvironmentalConditions(temperature=90.0))
+        hot = controller.regulate(safe_voltage=0.60).final_voltage
+        assert cold >= hot
+        chip.set_environment(EnvironmentalConditions())
+
+    def test_traces_accumulate(self, deployed_chip):
+        chip, program = deployed_chip
+        controller = self._controller(chip, program)
+        controller.regulate(safe_voltage=0.60)
+        controller.regulate(safe_voltage=0.60)
+        assert len(controller.traces) == 2
+        assert chip.mcu.control_routine_runs == 2
+
+    def test_invalid_parameters(self, deployed_chip):
+        chip, program = deployed_chip
+        selector = CanarySelector(canaries_per_bank=1, strategy="oracle")
+        canaries = selector.select(chip.memory, 0.5)
+        with pytest.raises(ValueError):
+            CanaryController(chip, canaries, voltage_step=0.0)

@@ -1,0 +1,43 @@
+"""Smoke tests for the example scripts.
+
+The examples are user-facing documentation; these tests ensure they at least
+import cleanly and expose a ``main`` entry point, and run the cheapest one
+end-to-end so a regression in the public API surfaces immediately.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_at_least_three_examples_exist(self):
+        assert len(EXAMPLE_FILES) >= 3
+        assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_examples_import_and_define_main(self, path):
+        module = _load(path)
+        assert callable(getattr(module, "main", None))
+
+    def test_quickstart_runs(self, capsys):
+        module = _load(EXAMPLES_DIR / "quickstart.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "memory-adaptive" in output
+        assert "%" in output

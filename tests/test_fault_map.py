@@ -1,0 +1,182 @@
+"""Unit and property-based tests for repro.sram.fault_map."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sram import BitFault, FaultMap
+
+
+class TestBitFault:
+    def test_valid_construction(self):
+        fault = BitFault(3, 7, 1)
+        assert (fault.address, fault.bit, fault.stuck_value) == (3, 7, 1)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"address": -1, "bit": 0, "stuck_value": 0},
+        {"address": 0, "bit": -2, "stuck_value": 0},
+        {"address": 0, "bit": 0, "stuck_value": 2},
+    ])
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            BitFault(**kwargs)
+
+
+class TestFaultMap:
+    def test_empty_map(self):
+        fm = FaultMap(8, 16)
+        assert fm.num_faults == 0
+        assert fm.fault_rate == 0.0
+        and_masks, or_masks = fm.masks()
+        assert np.all(and_masks == 0xFFFF)
+        assert np.all(or_masks == 0)
+
+    def test_add_and_query(self):
+        fm = FaultMap(8, 16)
+        fm.add(BitFault(2, 5, 1))
+        fm.add(BitFault(2, 6, 0))
+        assert fm.num_faults == 2
+        assert (2, 5) in fm
+        assert (3, 5) not in fm
+        assert len(fm.faults_at(2)) == 2
+        np.testing.assert_array_equal(fm.faulty_addresses, [2])
+
+    def test_add_out_of_range(self):
+        fm = FaultMap(8, 16)
+        with pytest.raises(ValueError):
+            fm.add(BitFault(8, 0, 1))
+        with pytest.raises(ValueError):
+            fm.add(BitFault(0, 16, 1))
+
+    def test_duplicate_add_overwrites(self):
+        fm = FaultMap(4, 8)
+        fm.add(BitFault(1, 3, 0))
+        fm.add(BitFault(1, 3, 1))
+        assert fm.num_faults == 1
+        assert fm.faults[0].stuck_value == 1
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            FaultMap(0, 16)
+        with pytest.raises(ValueError):
+            FaultMap(8, 65)
+
+    def test_masks_stuck_at_one(self):
+        fm = FaultMap(2, 8, [BitFault(0, 3, 1)])
+        and_masks, or_masks = fm.masks()
+        assert or_masks[0] == 0b1000
+        assert and_masks[0] == 0xFF
+
+    def test_masks_stuck_at_zero(self):
+        fm = FaultMap(2, 8, [BitFault(1, 2, 0)])
+        and_masks, or_masks = fm.masks()
+        assert and_masks[1] == 0xFF ^ 0b100
+        assert or_masks[1] == 0
+
+    def test_apply_corrupts_only_faulty_bits(self):
+        fm = FaultMap(3, 8, [BitFault(0, 0, 1), BitFault(2, 7, 0)])
+        words = np.array([0x00, 0x55, 0xFF], dtype=np.uint64)
+        corrupted = fm.apply(words)
+        assert corrupted[0] == 0x01
+        assert corrupted[1] == 0x55  # untouched
+        assert corrupted[2] == 0x7F
+
+    def test_apply_wrong_length(self):
+        fm = FaultMap(3, 8)
+        with pytest.raises(ValueError):
+            fm.apply(np.zeros(4, dtype=np.uint64))
+
+    def test_merge(self):
+        a = FaultMap(4, 8, [BitFault(0, 0, 1)])
+        b = FaultMap(4, 8, [BitFault(1, 1, 0), BitFault(0, 0, 0)])
+        merged = a.merge(b)
+        assert merged.num_faults == 2
+        # later map wins on conflicts
+        assert merged.faults_at(0)[0].stuck_value == 0
+        # originals untouched
+        assert a.faults_at(0)[0].stuck_value == 1
+
+    def test_merge_geometry_mismatch(self):
+        with pytest.raises(ValueError):
+            FaultMap(4, 8).merge(FaultMap(4, 16))
+
+    def test_equality(self):
+        a = FaultMap(4, 8, [BitFault(0, 0, 1)])
+        b = FaultMap(4, 8, [BitFault(0, 0, 1)])
+        c = FaultMap(4, 8, [BitFault(0, 0, 0)])
+        assert a == b
+        assert a != c
+
+    def test_from_arrays(self):
+        stuck = np.zeros((4, 8), dtype=bool)
+        values = np.zeros((4, 8), dtype=int)
+        stuck[1, 2] = True
+        values[1, 2] = 1
+        fm = FaultMap.from_arrays(stuck, values)
+        assert fm.num_faults == 1
+        assert fm.faults[0] == BitFault(1, 2, 1)
+
+    def test_random_rate(self):
+        fm = FaultMap.random(256, 16, fault_rate=0.1, rng=0)
+        assert fm.fault_rate == pytest.approx(0.1, abs=0.02)
+
+    def test_random_zero_and_full(self):
+        assert FaultMap.random(32, 8, 0.0, rng=0).num_faults == 0
+        assert FaultMap.random(32, 8, 1.0, rng=0).num_faults == 32 * 8
+
+    def test_random_polarity_bias(self):
+        fm = FaultMap.random(256, 16, 0.2, rng=1, stuck_one_probability=1.0)
+        assert all(fault.stuck_value == 1 for fault in fm.faults)
+
+    def test_random_invalid_rate(self):
+        with pytest.raises(ValueError):
+            FaultMap.random(8, 8, 1.5)
+
+
+class TestFaultMapProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        num_words=st.integers(1, 32),
+        word_bits=st.integers(1, 24),
+        rate=st.floats(0.0, 1.0),
+        seed=st.integers(0, 1000),
+    )
+    def test_random_map_is_within_geometry(self, num_words, word_bits, rate, seed):
+        fm = FaultMap.random(num_words, word_bits, rate, rng=seed)
+        for fault in fm.faults:
+            assert 0 <= fault.address < num_words
+            assert 0 <= fault.bit < word_bits
+        assert 0.0 <= fm.fault_rate <= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        words=st.lists(st.integers(0, 2**16 - 1), min_size=1, max_size=32),
+        rate=st.floats(0.0, 1.0),
+        seed=st.integers(0, 1000),
+    )
+    def test_apply_is_idempotent(self, words, rate, seed):
+        """Applying a fault map twice gives the same result as applying once —
+        the defining property of stable read-disturb corruption."""
+        word_array = np.array(words, dtype=np.uint64)
+        fm = FaultMap.random(len(words), 16, rate, rng=seed)
+        once = fm.apply(word_array)
+        twice = fm.apply(once)
+        np.testing.assert_array_equal(once, twice)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        words=st.lists(st.integers(0, 2**12 - 1), min_size=1, max_size=16),
+        seed=st.integers(0, 200),
+    )
+    def test_apply_only_touches_mapped_bits(self, words, seed):
+        word_array = np.array(words, dtype=np.uint64)
+        fm = FaultMap.random(len(words), 12, 0.3, rng=seed)
+        corrupted = fm.apply(word_array)
+        flipped = word_array ^ corrupted
+        mapped = np.zeros(len(words), dtype=np.uint64)
+        for fault in fm.faults:
+            mapped[fault.address] |= np.uint64(1 << fault.bit)
+        assert np.all((flipped & ~mapped) == 0)

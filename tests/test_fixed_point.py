@@ -1,0 +1,168 @@
+"""Unit and property-based tests for repro.quant.fixed_point."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import FixedPointFormat
+
+
+class TestFormatProperties:
+    def test_default_format(self):
+        fmt = FixedPointFormat()
+        assert fmt.total_bits == 16
+        assert fmt.frac_bits == 12
+        assert fmt.scale == 2.0**-12
+
+    def test_ranges(self):
+        fmt = FixedPointFormat(8, 4)
+        assert fmt.min_code == -128
+        assert fmt.max_code == 127
+        assert fmt.min_value == -8.0
+        assert fmt.max_value == pytest.approx(127 / 16)
+
+    def test_word_mask(self):
+        assert FixedPointFormat(8, 4).word_mask == 0xFF
+        assert FixedPointFormat(16, 12).word_mask == 0xFFFF
+
+    @pytest.mark.parametrize("total,frac", [(1, 0), (65, 10), (8, 8), (8, -1)])
+    def test_invalid_parameters(self, total, frac):
+        with pytest.raises(ValueError):
+            FixedPointFormat(total, frac)
+
+    def test_describe(self):
+        assert FixedPointFormat(16, 12).describe() == "Q3.12 (16-bit)"
+
+    def test_for_range_picks_max_resolution(self):
+        fmt = FixedPointFormat.for_range(3.5, total_bits=16)
+        assert fmt.frac_bits == 13
+        assert fmt.max_value >= 3.5
+        fmt = FixedPointFormat.for_range(0.9, total_bits=16)
+        assert fmt.frac_bits == 15
+
+    def test_for_range_invalid(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat.for_range(0.0)
+
+
+class TestQuantization:
+    def test_exact_grid_values_are_preserved(self):
+        fmt = FixedPointFormat(16, 8)
+        values = np.array([0.0, 1.0, -1.0, 0.5, 127.99609375])
+        np.testing.assert_allclose(fmt.quantize(values), values)
+
+    def test_rounding_to_nearest(self):
+        fmt = FixedPointFormat(16, 2)  # LSB = 0.25
+        np.testing.assert_allclose(fmt.quantize(np.array([0.1, 0.13, 0.3])), [0.0, 0.25, 0.25])
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(8, 4)
+        np.testing.assert_allclose(
+            fmt.quantize(np.array([100.0, -100.0])), [fmt.max_value, fmt.min_value]
+        )
+
+    def test_quantization_error_bound(self):
+        fmt = FixedPointFormat(16, 10)
+        values = np.linspace(-10, 10, 1001)
+        in_range = values[(values > fmt.min_value) & (values < fmt.max_value)]
+        errors = fmt.quantization_error(in_range)
+        assert np.all(np.abs(errors) <= fmt.scale / 2 + 1e-12)
+
+    def test_quantize_to_code_type_and_range(self):
+        fmt = FixedPointFormat(12, 6)
+        codes = fmt.quantize_to_code(np.array([0.5, -0.5, 1000.0]))
+        assert codes.dtype == np.int64
+        assert codes.max() <= fmt.max_code and codes.min() >= fmt.min_code
+
+
+class TestBitPacking:
+    def test_word_roundtrip_signed(self):
+        fmt = FixedPointFormat(16, 12)
+        codes = np.array([-1, 0, 1, fmt.min_code, fmt.max_code])
+        np.testing.assert_array_equal(fmt.word_to_code(fmt.code_to_word(codes)), codes)
+
+    def test_negative_one_is_all_ones(self):
+        fmt = FixedPointFormat(8, 0)
+        assert fmt.code_to_word(np.array([-1]))[0] == 0xFF
+
+    def test_out_of_range_code_raises(self):
+        fmt = FixedPointFormat(8, 0)
+        with pytest.raises(ValueError):
+            fmt.code_to_word(np.array([200]))
+
+    def test_bits_roundtrip(self):
+        fmt = FixedPointFormat(16, 12)
+        words = np.array([0x0000, 0xFFFF, 0x8001, 0x1234], dtype=np.uint64)
+        bits = fmt.word_to_bits(words)
+        assert bits.shape == (4, 16)
+        np.testing.assert_array_equal(fmt.bits_to_word(bits), words)
+
+    def test_bit_order_lsb_first(self):
+        fmt = FixedPointFormat(8, 0)
+        bits = fmt.word_to_bits(np.array([0b00000010], dtype=np.uint64))
+        assert bits[0, 1] == 1
+        assert bits[0, 0] == 0
+
+    def test_bits_to_word_wrong_width(self):
+        fmt = FixedPointFormat(8, 0)
+        with pytest.raises(ValueError):
+            fmt.bits_to_word(np.zeros((2, 7), dtype=np.uint64))
+
+    def test_float_word_roundtrip(self):
+        fmt = FixedPointFormat(16, 13)
+        values = np.array([0.125, -2.5, 3.99987793])
+        decoded = fmt.word_to_float(fmt.float_to_word(values))
+        np.testing.assert_allclose(decoded, values, atol=fmt.scale / 2)
+
+
+class TestHypothesisProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        total=st.integers(4, 24),
+        values=st.lists(st.floats(-1000, 1000), min_size=1, max_size=32),
+    )
+    def test_quantize_is_idempotent(self, total, values):
+        fmt = FixedPointFormat(total, total // 2)
+        once = fmt.quantize(np.array(values))
+        twice = fmt.quantize(once)
+        np.testing.assert_allclose(once, twice)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        total=st.integers(4, 24),
+        frac_fraction=st.floats(0.0, 0.99),
+        values=st.lists(st.floats(-100, 100), min_size=1, max_size=32),
+    )
+    def test_word_roundtrip_preserves_quantized_value(self, total, frac_fraction, values):
+        frac = int(frac_fraction * total)
+        fmt = FixedPointFormat(total, frac)
+        arr = np.array(values)
+        quantized = fmt.quantize(arr)
+        roundtrip = fmt.word_to_float(fmt.float_to_word(arr))
+        np.testing.assert_allclose(roundtrip, quantized)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(-8, 8), min_size=1, max_size=64))
+    def test_quantization_error_below_one_lsb(self, values):
+        fmt = FixedPointFormat(16, 12)
+        arr = np.clip(np.array(values), fmt.min_value, fmt.max_value)
+        errors = np.abs(arr - fmt.quantize(arr))
+        assert np.all(errors <= fmt.scale)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 2**16 - 1))
+    def test_word_code_word_identity(self, word):
+        fmt = FixedPointFormat(16, 12)
+        words = np.array([word], dtype=np.uint64)
+        assert fmt.code_to_word(fmt.word_to_code(words))[0] == word
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.floats(-1000, 1000), min_size=1, max_size=16))
+    def test_quantize_is_monotone(self, values):
+        fmt = FixedPointFormat(12, 6)
+        arr = np.sort(np.array(values))
+        quantized = fmt.quantize(arr)
+        assert np.all(np.diff(quantized) >= -1e-12)

@@ -1,0 +1,102 @@
+"""Unit tests for repro.nn.initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    HeNormal,
+    NormalInitializer,
+    UniformInitializer,
+    XavierNormal,
+    XavierUniform,
+    ZerosInitializer,
+    get_initializer,
+)
+
+ALL = [
+    ZerosInitializer(),
+    UniformInitializer(),
+    NormalInitializer(),
+    XavierUniform(),
+    XavierNormal(),
+    HeNormal(),
+]
+
+
+class TestShapesAndDeterminism:
+    @pytest.mark.parametrize("initializer", ALL, ids=lambda i: type(i).__name__)
+    def test_returns_requested_shape(self, initializer):
+        rng = np.random.default_rng(0)
+        out = initializer((7, 3), rng)
+        assert out.shape == (7, 3)
+
+    @pytest.mark.parametrize("initializer", ALL, ids=lambda i: type(i).__name__)
+    def test_same_seed_same_values(self, initializer):
+        a = initializer((5, 5), np.random.default_rng(42))
+        b = initializer((5, 5), np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        init = XavierUniform()
+        a = init((20, 20), np.random.default_rng(1))
+        b = init((20, 20), np.random.default_rng(2))
+        assert not np.array_equal(a, b)
+
+
+class TestDistributions:
+    def test_zeros_is_all_zero(self):
+        out = ZerosInitializer()((10,), np.random.default_rng(0))
+        assert np.all(out == 0.0)
+
+    def test_uniform_respects_scale(self):
+        out = UniformInitializer(scale=0.2)((1000,), np.random.default_rng(0))
+        assert np.all(np.abs(out) <= 0.2)
+
+    def test_uniform_rejects_non_positive_scale(self):
+        with pytest.raises(ValueError):
+            UniformInitializer(scale=0.0)
+
+    def test_normal_std(self):
+        out = NormalInitializer(std=0.1)((20000,), np.random.default_rng(0))
+        assert np.std(out) == pytest.approx(0.1, rel=0.05)
+
+    def test_xavier_uniform_limit(self):
+        fan_in, fan_out = 100, 50
+        out = XavierUniform()((fan_in, fan_out), np.random.default_rng(0))
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        assert np.all(np.abs(out) <= limit)
+
+    def test_xavier_normal_std(self):
+        fan_in, fan_out = 200, 100
+        out = XavierNormal()((fan_in, fan_out), np.random.default_rng(0))
+        expected = np.sqrt(2.0 / (fan_in + fan_out))
+        assert np.std(out) == pytest.approx(expected, rel=0.1)
+
+    def test_he_normal_std(self):
+        fan_in = 400
+        out = HeNormal()((fan_in, 50), np.random.default_rng(0))
+        assert np.std(out) == pytest.approx(np.sqrt(2.0 / fan_in), rel=0.1)
+
+    def test_bias_shape_fan_handling(self):
+        # 1-D shapes must not crash the fan computation
+        out = XavierUniform()((16,), np.random.default_rng(0))
+        assert out.shape == (16,)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name",
+        ["zeros", "uniform", "normal", "xavier_uniform", "xavier_normal", "he_normal"],
+    )
+    def test_lookup(self, name):
+        assert get_initializer(name).name == name
+
+    def test_passthrough(self):
+        init = HeNormal()
+        assert get_initializer(init) is init
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_initializer("glorot")  # not a registered alias

@@ -1,0 +1,169 @@
+"""Unit and integration tests for the PE, systolic ring, and NPU."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    ActivationFunctionUnit,
+    MicrocodeCompiler,
+    Npu,
+    ProcessingElement,
+    SystolicRing,
+)
+from repro.nn import Network
+from repro.quant import FixedPointFormat, WeightQuantizer
+from repro.sram import SramBank, WeightMemorySystem
+
+
+@pytest.fixture()
+def memory():
+    return WeightMemorySystem.build(4, 128, 16, seed=13)
+
+
+@pytest.fixture()
+def quantizer():
+    return WeightQuantizer(total_bits=16, frac_bits=13)
+
+
+class TestProcessingElement:
+    def test_mac_batch_matches_numpy(self):
+        bank = SramBank(16, 16, seed=0)
+        pe = ProcessingElement(0, bank, data_format=FixedPointFormat(16, 12))
+        rng = np.random.default_rng(0)
+        inputs = rng.random((5, 8))
+        weights = rng.normal(size=8)
+        result = pe.mac_batch(inputs, weights, bias=0.25)
+        expected = pe.data_format.quantize(inputs) @ weights + 0.25
+        np.testing.assert_allclose(result, expected)
+        assert pe.mac_count == 5 * 8
+
+    def test_mac_batch_fan_in_mismatch(self):
+        pe = ProcessingElement(0, SramBank(8, 16, seed=0))
+        with pytest.raises(ValueError):
+            pe.mac_batch(np.zeros((2, 4)), np.zeros(5), 0.0)
+
+    def test_fetch_neuron_parameters_decodes_words(self):
+        bank = SramBank(16, 16, seed=0)
+        fmt = FixedPointFormat(16, 13)
+        pe = ProcessingElement(1, bank)
+        weights = np.array([0.5, -0.25, 1.0])
+        bank.write(np.arange(4), np.concatenate([
+            fmt.float_to_word(np.array([0.125])), fmt.float_to_word(weights)
+        ]))
+        decoded_weights, decoded_bias = pe.fetch_neuron_parameters(
+            0, 3, fmt, fmt, voltage=0.9
+        )
+        np.testing.assert_allclose(decoded_weights, weights)
+        assert decoded_bias == pytest.approx(0.125)
+
+    def test_reset_counters(self):
+        pe = ProcessingElement(0, SramBank(8, 16, seed=0))
+        pe.mac_batch(np.zeros((1, 2)), np.zeros(2), 0.0)
+        pe.reset_counters()
+        assert pe.mac_count == 0
+
+    def test_invalid_index(self):
+        with pytest.raises(ValueError):
+            ProcessingElement(-1, SramBank(8, 16, seed=0))
+
+
+class TestSystolicRingAndNpu:
+    def test_npu_matches_software_network_at_nominal_voltage(self, memory, quantizer):
+        """At nominal voltage the accelerator must agree with a software
+        evaluation of the quantized network to within datapath quantization."""
+        network = Network("10-12-3", hidden_activation="sigmoid",
+                          output_activation="sigmoid", seed=3)
+        npu = Npu(memory)
+        npu.deploy(network, quantizer)
+        rng = np.random.default_rng(1)
+        x = rng.random((20, 10))
+        hardware, stats = npu.run(x, sram_voltage=0.9)
+        software = network.predict(x)
+        assert hardware.shape == software.shape
+        assert np.max(np.abs(hardware - software)) < 0.03
+        assert stats.batch_size == 20
+        assert stats.cycles == npu.program.total_cycles_per_inference
+        assert stats.macs == npu.program.total_macs_per_inference * 20
+
+    def test_run_requires_deploy(self, memory):
+        npu = Npu(memory)
+        with pytest.raises(RuntimeError):
+            npu.run(np.zeros((1, 4)))
+
+    def test_low_voltage_changes_outputs(self, memory, quantizer):
+        network = Network("10-12-3", seed=3)
+        npu = Npu(memory)
+        npu.deploy(network, quantizer)
+        x = np.random.default_rng(2).random((10, 10))
+        nominal = npu.predict(x, sram_voltage=0.9)
+        npu.refresh_weights()
+        overscaled = npu.predict(x, sram_voltage=0.42)
+        assert not np.allclose(nominal, overscaled)
+
+    def test_refresh_weights_restores_behaviour(self, memory, quantizer):
+        network = Network("10-12-3", seed=3)
+        npu = Npu(memory)
+        npu.deploy(network, quantizer)
+        x = np.random.default_rng(2).random((10, 10))
+        nominal = npu.predict(x, sram_voltage=0.9)
+        npu.predict(x, sram_voltage=0.42)  # corrupts storage
+        npu.refresh_weights()
+        restored = npu.predict(x, sram_voltage=0.9)
+        np.testing.assert_allclose(nominal, restored)
+
+    def test_refresh_requires_deploy(self, memory):
+        with pytest.raises(RuntimeError):
+            Npu(memory).refresh_weights()
+
+    def test_layer_stats_structure(self, memory, quantizer):
+        network = Network("10-12-3", seed=3)
+        npu = Npu(memory)
+        npu.deploy(network, quantizer)
+        _, stats = npu.run(np.zeros((4, 10)))
+        assert len(stats.layer_stats) == 2
+        assert stats.layer_stats[0].sram_reads > 0
+        assert stats.cycles_per_inference == pytest.approx(stats.cycles / 4)
+
+    def test_ring_rejects_wrong_input_width(self, memory, quantizer):
+        network = Network("10-12-3", seed=3)
+        compiler = MicrocodeCompiler(num_pes=len(memory), words_per_bank=128)
+        program = compiler.compile(network, quantizer)
+        program.placement.store(memory, quantizer.quantize_network(network))
+        ring = SystolicRing(memory)
+        with pytest.raises(ValueError):
+            ring.compute_layer(np.zeros((2, 7)), program.layers[0], program.placement, 0.9)
+
+    def test_ring_counts_passes(self, memory, quantizer):
+        network = Network("6-10-2", seed=1)
+        compiler = MicrocodeCompiler(num_pes=len(memory), words_per_bank=128)
+        program = compiler.compile(network, quantizer)
+        program.placement.store(memory, quantizer.quantize_network(network))
+        ring = SystolicRing(memory)
+        _, stats = ring.compute_layer(
+            np.zeros((3, 6)), program.layers[0], program.placement, 0.9
+        )
+        assert stats.passes == int(np.ceil(10 / len(memory)))
+        assert stats.batch_size == 3
+
+    def test_deploy_quantized_reuses_program(self, memory, quantizer):
+        network = Network("10-12-3", seed=3)
+        npu = Npu(memory)
+        program = npu.deploy(network, quantizer)
+        quantized = quantizer.quantize_network(network)
+        other = Npu(memory)
+        other.deploy_quantized(program, quantized)
+        x = np.random.default_rng(0).random((5, 10))
+        np.testing.assert_allclose(other.predict(x), npu.predict(x))
+
+    def test_relu_network_on_npu(self, memory, quantizer):
+        network = Network(
+            "10-12-3", hidden_activation="relu", output_activation="identity", seed=5
+        )
+        npu = Npu(memory)
+        npu.deploy(network, quantizer)
+        x = np.random.default_rng(3).random((8, 10))
+        hardware = npu.predict(x, sram_voltage=0.9)
+        software = network.predict(x)
+        assert np.max(np.abs(hardware - software)) < 0.05

@@ -1,0 +1,158 @@
+"""Unit tests for the SRAM profiler, voltage regulator, and variation models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sram import (
+    FAST_CORNER,
+    SLOW_CORNER,
+    TYPICAL_CORNER,
+    EnvironmentalConditions,
+    ProcessCorner,
+    SramBank,
+    SramProfiler,
+    TemperatureChamber,
+    VoltageRegulator,
+    WeightMemorySystem,
+)
+
+
+class TestSramProfiler:
+    def test_no_faults_at_nominal(self):
+        bank = SramBank(64, 16, seed=1)
+        report = SramProfiler().profile_bank(bank, 0.9)
+        assert report.fault_map.num_faults == 0
+        assert report.fault_rate == 0.0
+
+    def test_profiled_map_matches_ground_truth(self):
+        bank = SramBank(128, 16, seed=2)
+        report = SramProfiler().profile_bank(bank, 0.47)
+        assert report.fault_map == bank.fault_map_at(0.47)
+
+    def test_profile_restores_contents(self):
+        bank = SramBank(64, 16, seed=3)
+        deployed = np.arange(64, dtype=np.uint64) * 7 % 65536
+        bank.write_all(deployed)
+        SramProfiler().profile_bank(bank, 0.45)
+        np.testing.assert_array_equal(bank.stored_words(), deployed)
+
+    def test_profile_without_restore(self):
+        bank = SramBank(64, 16, seed=3)
+        deployed = np.full(64, 0x1234, dtype=np.uint64)
+        bank.write_all(deployed)
+        SramProfiler(restore_contents=False).profile_bank(bank, 0.45)
+        assert not np.array_equal(bank.stored_words(), deployed)
+
+    def test_read_after_read_errors_reported(self):
+        bank = SramBank(128, 16, seed=4)
+        report = SramProfiler().profile_bank(bank, 0.46)
+        assert report.read_after_read_errors > 0
+        assert report.read_after_write_errors > 0
+        assert set(report.pattern_errors) == {"zeros", "ones"}
+
+    def test_custom_patterns(self):
+        bank = SramBank(32, 16, seed=5)
+        profiler = SramProfiler(test_patterns={"checker": 0xAAAA})
+        report = profiler.profile_bank(bank, 0.9)
+        assert list(report.pattern_errors) == ["checker"]
+
+    def test_invalid_voltage(self):
+        bank = SramBank(16, 16, seed=0)
+        with pytest.raises(ValueError):
+            SramProfiler().profile_bank(bank, 0.0)
+
+    def test_memory_system_profiling(self):
+        memory = WeightMemorySystem.build(3, 64, 16, seed=6)
+        reports = SramProfiler().profile_memory_system(memory, 0.46)
+        assert len(reports) == 3
+        assert all(r.voltage == 0.46 for r in reports)
+
+    def test_failure_rate_curve_monotone(self):
+        bank = SramBank(256, 16, seed=7)
+        voltages = np.array([0.42, 0.46, 0.50, 0.54])
+        rates = SramProfiler().failure_rate_curve(bank, voltages)
+        assert np.all(np.diff(rates) <= 0)
+
+    def test_temperature_dependence(self):
+        bank = SramBank(256, 16, seed=8)
+        profiler = SramProfiler()
+        cold = profiler.profile_bank(bank, 0.47, temperature=-15.0).fault_rate
+        hot = profiler.profile_bank(bank, 0.47, temperature=90.0).fault_rate
+        assert cold >= hot
+
+
+class TestVoltageRegulator:
+    def test_initial_quantization(self):
+        regulator = VoltageRegulator(initial_voltage=0.907, step=0.01)
+        assert regulator.voltage == pytest.approx(0.91)
+
+    def test_set_voltage_clamps_to_range(self):
+        regulator = VoltageRegulator(min_voltage=0.4, max_voltage=1.0)
+        assert regulator.set_voltage(2.0) == pytest.approx(1.0)
+        assert regulator.set_voltage(0.1) == pytest.approx(0.4)
+
+    def test_step_up_down(self):
+        regulator = VoltageRegulator(initial_voltage=0.5, step=0.01)
+        assert regulator.step_down() == pytest.approx(0.49)
+        assert regulator.step_up() == pytest.approx(0.5)
+
+    def test_adjust(self):
+        regulator = VoltageRegulator(initial_voltage=0.5, step=0.005)
+        assert regulator.adjust(-0.02) == pytest.approx(0.48)
+
+    def test_history_recorded(self):
+        regulator = VoltageRegulator(initial_voltage=0.9)
+        regulator.set_voltage(0.6)
+        regulator.set_voltage(0.55)
+        assert regulator.history == pytest.approx([0.9, 0.6, 0.55])
+        regulator.reset_history()
+        assert regulator.history == pytest.approx([0.55])
+
+    def test_quantizes_to_step(self):
+        regulator = VoltageRegulator(step=0.025)
+        assert regulator.set_voltage(0.513) == pytest.approx(0.525)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            VoltageRegulator(step=0.0)
+        with pytest.raises(ValueError):
+            VoltageRegulator(min_voltage=1.0, max_voltage=0.5)
+
+
+class TestVariationModels:
+    def test_environmental_conditions_with_temperature(self):
+        conditions = EnvironmentalConditions(temperature=25.0, supply_noise=0.01)
+        hot = conditions.with_temperature(85.0)
+        assert hot.temperature == 85.0
+        assert hot.supply_noise == 0.01
+
+    def test_process_corners(self):
+        assert TYPICAL_CORNER.vmin_shift == 0.0
+        assert SLOW_CORNER.vmin_shift > 0.0
+        assert FAST_CORNER.vmin_shift < 0.0
+        with pytest.raises(ValueError):
+            ProcessCorner("bad", leakage_scale=0.0)
+
+    def test_chamber_schedule_shape(self):
+        chamber = TemperatureChamber(start=25.0, low=-15.0, high=90.0, step=15.0)
+        schedule = chamber.schedule()
+        # starts at the nominal temperature, dips to the low point, ends high
+        assert schedule[0] == 25.0
+        assert schedule.min() == -15.0
+        assert schedule[-1] == 90.0
+        # no immediate duplicates
+        assert all(abs(a - b) > 1e-9 for a, b in zip(schedule, schedule[1:]))
+
+    def test_chamber_conditions(self):
+        chamber = TemperatureChamber()
+        conditions = chamber.conditions()
+        assert len(conditions) == len(chamber.schedule())
+        assert all(isinstance(c, EnvironmentalConditions) for c in conditions)
+
+    def test_chamber_validation(self):
+        with pytest.raises(ValueError):
+            TemperatureChamber(step=0.0)
+        with pytest.raises(ValueError):
+            TemperatureChamber(start=100.0, low=-15.0, high=90.0)

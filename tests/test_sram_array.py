@@ -1,0 +1,204 @@
+"""Unit and property-based tests for repro.sram.array (SramBank and
+WeightMemorySystem): the read-disturb failure mechanism MATIC depends on."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sram import GaussianVminModel, SramBank, WeightMemorySystem
+
+
+@pytest.fixture()
+def bank():
+    return SramBank(64, 16, seed=7, name="test-bank")
+
+
+class TestBasicAccess:
+    def test_geometry(self, bank):
+        assert bank.size_bits == 64 * 16
+        assert bank.size_bytes == 128
+        assert bank.word_mask == 0xFFFF
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SramBank(0, 16)
+        with pytest.raises(ValueError):
+            SramBank(8, 70)
+
+    def test_write_read_at_nominal_voltage(self, bank):
+        words = np.arange(64, dtype=np.uint64)
+        bank.write_all(words)
+        np.testing.assert_array_equal(bank.read_all(voltage=0.9), words)
+
+    def test_single_address_access(self, bank):
+        bank.write(5, 0xBEEF)
+        assert bank.read(5, voltage=0.9)[0] == 0xBEEF
+
+    def test_write_masks_to_word_length(self, bank):
+        bank.write(0, 0x1FFFF)
+        assert bank.read(0, voltage=0.9)[0] == 0xFFFF
+
+    def test_address_out_of_range(self, bank):
+        with pytest.raises(IndexError):
+            bank.read(64)
+        with pytest.raises(IndexError):
+            bank.write(-1, 0)
+
+    def test_word_count_mismatch(self, bank):
+        with pytest.raises(ValueError):
+            bank.write(np.array([0, 1]), np.array([1, 2, 3]))
+        with pytest.raises(ValueError):
+            bank.write_all(np.zeros(10, dtype=np.uint64))
+
+    def test_invalid_voltage(self, bank):
+        with pytest.raises(ValueError):
+            bank.read(0, voltage=0.0)
+
+    def test_counters(self, bank):
+        bank.write_all(np.zeros(64, dtype=np.uint64))
+        bank.read_all()
+        assert bank.write_count == 64
+        assert bank.read_count == 64
+
+    def test_stored_words_is_non_destructive(self, bank):
+        bank.write_all(np.arange(64, dtype=np.uint64))
+        before_reads = bank.read_count
+        bank.stored_words()
+        assert bank.read_count == before_reads
+
+
+class TestReadDisturbBehaviour:
+    def test_no_errors_at_nominal(self, bank):
+        reference = np.full(64, 0xA5A5, dtype=np.uint64)
+        bank.write_all(reference)
+        bank.read_all(voltage=0.9)
+        assert bank.bit_error_count(reference) == 0
+
+    def test_errors_appear_at_low_voltage(self, bank):
+        reference = np.full(64, 0xA5A5, dtype=np.uint64)
+        bank.write_all(reference)
+        bank.read_all(voltage=0.45)
+        assert bank.bit_error_count(reference) > 0
+
+    def test_corruption_matches_fault_map(self, bank):
+        """Reads at voltage V corrupt exactly the cells the fault map predicts."""
+        reference = np.arange(64, dtype=np.uint64) * 321 % 65536
+        bank.write_all(reference)
+        fault_map = bank.fault_map_at(0.46)
+        observed = bank.read_all(voltage=0.46)
+        np.testing.assert_array_equal(observed, fault_map.apply(reference))
+
+    def test_corruption_is_stable_across_repeated_reads(self, bank):
+        reference = np.full(64, 0x0F0F, dtype=np.uint64)
+        bank.write_all(reference)
+        first = bank.read_all(voltage=0.45)
+        second = bank.read_all(voltage=0.45)
+        third = bank.read_all(voltage=0.9)  # corruption persists even at nominal
+        np.testing.assert_array_equal(first, second)
+        np.testing.assert_array_equal(first, third)
+
+    def test_write_refreshes_disturbed_cells(self, bank):
+        reference = np.full(64, 0x3333, dtype=np.uint64)
+        bank.write_all(reference)
+        bank.read_all(voltage=0.42)
+        bank.write_all(reference)
+        np.testing.assert_array_equal(bank.read_all(voltage=0.9), reference)
+
+    def test_lower_voltage_corrupts_more_cells(self, bank):
+        reference = np.full(64, 0xFFFF, dtype=np.uint64)
+        errors = []
+        for voltage in (0.52, 0.48, 0.44):
+            bank.write_all(reference)
+            bank.read_all(voltage=voltage)
+            errors.append(bank.bit_error_count(reference))
+        assert errors[0] <= errors[1] <= errors[2]
+
+    def test_temperature_shifts_failure_boundary(self, bank):
+        reference = np.full(64, 0x5A5A, dtype=np.uint64)
+        bank.write_all(reference)
+        bank.read_all(voltage=0.47, temperature=-15.0)
+        cold_errors = bank.bit_error_count(reference)
+        bank.write_all(reference)
+        bank.read_all(voltage=0.47, temperature=90.0)
+        hot_errors = bank.bit_error_count(reference)
+        assert cold_errors >= hot_errors
+
+    def test_fault_map_polarity_is_preferred_state(self, bank):
+        fault_map = bank.fault_map_at(0.46)
+        for fault in fault_map.faults[:20]:
+            assert fault.stuck_value == bank.cells.preferred_state[fault.address, fault.bit]
+
+    def test_marginal_cells_are_sorted_and_safe(self, bank):
+        marginal = bank.marginal_cells(0.50, count=8)
+        assert len(marginal) == 8
+        vmins = [bank.cells.vmin_read[f.address, f.bit] for f in marginal]
+        assert all(v <= 0.50 for v in vmins)
+        assert vmins == sorted(vmins, reverse=True)
+
+    def test_marginal_cells_count_validation(self, bank):
+        with pytest.raises(ValueError):
+            bank.marginal_cells(0.5, count=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        voltage=st.floats(0.40, 0.60),
+        pattern=st.integers(0, 2**16 - 1),
+        seed=st.integers(0, 100),
+    )
+    def test_read_disturb_idempotence_property(self, voltage, pattern, seed):
+        """Once disturbed, repeated reads at the same or higher voltage return
+        the same data (the stability property MAT relies on)."""
+        bank = SramBank(16, 16, seed=seed)
+        bank.write_all(np.full(16, pattern, dtype=np.uint64))
+        first = bank.read_all(voltage=voltage)
+        second = bank.read_all(voltage=voltage)
+        higher = bank.read_all(voltage=voltage + 0.2)
+        np.testing.assert_array_equal(first, second)
+        np.testing.assert_array_equal(first, higher)
+
+
+class TestWeightMemorySystem:
+    def test_build(self):
+        memory = WeightMemorySystem.build(8, 128, 16, seed=0)
+        assert len(memory) == 8
+        assert memory.total_words == 8 * 128
+        assert memory.total_bits == 8 * 128 * 16
+        assert memory.word_bits == 16
+        assert memory[0].name == "pe0.weights"
+
+    def test_banks_have_independent_variation(self):
+        memory = WeightMemorySystem.build(2, 64, 16, seed=0)
+        assert not np.allclose(memory[0].cells.vmin_read, memory[1].cells.vmin_read)
+
+    def test_same_seed_reproducible(self):
+        a = WeightMemorySystem.build(2, 32, 16, seed=5)
+        b = WeightMemorySystem.build(2, 32, 16, seed=5)
+        np.testing.assert_allclose(a[0].cells.vmin_read, b[0].cells.vmin_read)
+
+    def test_mixed_word_lengths_rejected(self):
+        banks = [SramBank(8, 16, seed=0), SramBank(8, 8, seed=1)]
+        with pytest.raises(ValueError):
+            WeightMemorySystem(banks)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WeightMemorySystem([])
+
+    def test_fault_rate_at_decreases_with_voltage(self):
+        memory = WeightMemorySystem.build(4, 128, 16, seed=3)
+        assert memory.fault_rate_at(0.44) > memory.fault_rate_at(0.50) > memory.fault_rate_at(0.60)
+
+    def test_fault_maps_cover_all_banks(self):
+        memory = WeightMemorySystem.build(3, 64, 16, seed=3)
+        maps = memory.fault_maps_at(0.46)
+        assert len(maps) == 3
+        assert all(m.num_words == 64 for m in maps)
+
+    def test_custom_variation_model(self):
+        model = GaussianVminModel(mean=0.3, sigma=0.01)
+        memory = WeightMemorySystem.build(2, 32, 16, variation_model=model, seed=0)
+        # with Vmin centred at 0.3 V, 0.5 V operation is essentially fault-free
+        assert memory.fault_rate_at(0.5) < 0.001
