@@ -102,25 +102,33 @@ class SystolicRing:
         weight_format = program.quantization.weight_format
         bias_format = program.quantization.bias_format
 
-        passes = 0
-        for pass_start in range(0, program.out_features, self.num_pes):
-            passes += 1
-            pass_neurons = range(
-                pass_start, min(pass_start + self.num_pes, program.out_features)
+        # One SRAM read pass and one matmul per PE: all neurons a PE hosts
+        # for this layer are fetched and evaluated together.  Read-disturb
+        # corruption is per-cell and order-independent, so the fetched words
+        # (and the persisted corruption) are bit-identical to walking the
+        # ring neuron by neuron; the MAC sums share the same operands but a
+        # BLAS gemm may reduce in a different order than per-neuron gemv, so
+        # accumulations agree only to the last ulp on some builds.  The
+        # cycle accounting below still reflects the pass structure.
+        for pe_index, pe in enumerate(self.pes):
+            assigned = [
+                neuron for neuron in layer_placement.neurons if neuron.pe == pe_index
+            ]
+            if not assigned:
+                continue
+            base_addresses = np.array([neuron.base_address for neuron in assigned])
+            weights, biases = pe.fetch_neuron_block(
+                base_addresses,
+                program.in_features,
+                weight_format,
+                bias_format,
+                voltage=voltage,
+                temperature=temperature,
             )
-            for neuron_index in pass_neurons:
-                neuron = layer_placement.neuron(neuron_index)
-                pe = self.pes[neuron.pe]
-                weights, bias = pe.fetch_neuron_parameters(
-                    neuron.base_address,
-                    neuron.fan_in,
-                    weight_format,
-                    bias_format,
-                    voltage=voltage,
-                    temperature=temperature,
-                )
-                outputs[:, neuron_index] = pe.mac_batch(inputs, weights, bias)
+            columns = [neuron.neuron for neuron in assigned]
+            outputs[:, columns] = pe.mac_matrix(inputs, weights, biases)
 
+        passes = int(np.ceil(program.out_features / self.num_pes))
         sram_reads = sum(bank.read_count for bank in self.memory) - reads_before
         cycles = passes * (program.in_features + 1 + self.pipeline_overhead)
         stats = LayerExecutionStats(

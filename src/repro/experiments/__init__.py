@@ -11,8 +11,16 @@
 | Table II | :func:`repro.experiments.table2_energy_scenarios.run_table2` |
 | Fig. 12  | :func:`repro.experiments.fig12_temperature.run_fig12` |
 | Table III| :func:`repro.experiments.table3_comparison.run_table3` |
+
+All drivers execute through the sweep engine
+(:mod:`repro.experiments.engine`): grids expand into independent seeded
+tasks that run serially or on a multiprocessing pool with identical results,
+and heavyweight artifacts (float baselines, memory-adaptive fine-tuning,
+topology-sweep fits) are memoized by the content-addressed artifact cache
+(:mod:`repro.experiments.cache`).
 """
 
+from .cache import ArtifactCache, cache_digest, default_cache, set_default_cache
 from .common import (
     ExperimentResult,
     PreparedBenchmark,
@@ -20,7 +28,9 @@ from .common import (
     format_table,
     make_chip,
     prepare_benchmark,
+    train_cached,
 )
+from .engine import SweepRunner, SweepTask, expand_grid
 from .fig05_mat_sweep import run_fig5
 from .fig09_sram import run_fig9a, run_fig9b
 from .fig10_error_vs_voltage import DEFAULT_VOLTAGES, run_fig10
@@ -31,9 +41,17 @@ from .table2_energy_scenarios import PAPER_TABLE2, run_table2
 from .table3_comparison import PRIOR_WORK_ROWS, run_table3
 
 __all__ = [
+    "ArtifactCache",
     "ExperimentResult",
     "PreparedBenchmark",
+    "SweepRunner",
+    "SweepTask",
+    "cache_digest",
+    "default_cache",
+    "set_default_cache",
+    "expand_grid",
     "prepare_benchmark",
+    "train_cached",
     "default_flow",
     "make_chip",
     "format_table",

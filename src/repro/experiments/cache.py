@@ -1,0 +1,248 @@
+"""Content-addressed artifact cache for the experiment suite.
+
+The nine experiment drivers repeat a lot of identical heavyweight work:
+training the float baseline of a benchmark, fine-tuning a model around a
+profiled fault mask, quantizing a trained model to an SRAM word image.  All
+of those computations are deterministic functions of their inputs, so the
+suite memoizes them on disk.
+
+Cache layout
+------------
+Artifacts live under a root directory (``$REPRO_CACHE_DIR``, default
+``~/.cache/repro-matic``), one subdirectory per artifact *kind*::
+
+    <root>/
+        prepared-benchmark/<digest>.pkl   pickled PreparedBenchmark
+        trained-weights/<digest>.pkl      list[(weights, bias)] per layer
+        quantized-image/<digest>.pkl      QuantizedWeights
+        sweep-result/<digest>.pkl         arbitrary driver artifacts
+
+``<digest>`` is a SHA-256 over a canonical encoding of the key: a flat
+mapping of strings to scalars, strings, tuples, nested mappings, or numpy
+arrays (arrays are hashed by dtype, shape, and raw bytes).  Keys therefore
+address *content* — e.g. the trained-weights key hashes the initial weights,
+the injection masks, the dataset, and every training hyper-parameter — so a
+change to any input produces a different digest and a cache miss, never a
+stale hit.  ``SCHEMA_VERSION`` is mixed into every digest and must be bumped
+whenever the *algorithms* behind an artifact change semantically.
+
+Writes are atomic (temp file + ``os.replace``) so a cache shared by the
+parallel sweep workers of :mod:`repro.experiments.engine` never exposes a
+partially written artifact; concurrent writers of the same digest are
+idempotent.  A small in-process memory layer fronts the disk so repeated
+hits inside one session skip the unpickling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ArtifactCache", "CacheStats", "cache_digest", "default_cache", "set_default_cache"]
+
+#: Bump when a cached computation changes semantically (training update rule,
+#: quantization rounding, dataset generators, ...) so old artifacts miss.
+SCHEMA_VERSION = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_DISABLE = "REPRO_CACHE_DISABLE"
+
+
+def _hash_bytes(hasher: "hashlib._Hash", tag: bytes, payload: bytes) -> None:
+    """Feed one length-delimited, type-tagged component into the hash.
+
+    Length prefixes make the encoding injective: without them adjacent
+    variable-length components could be re-split into a colliding key
+    (e.g. ``["xstr:y"]`` versus ``["x", "y"]``).
+    """
+    hasher.update(tag)
+    hasher.update(str(len(payload)).encode() + b":")
+    hasher.update(payload)
+
+
+def _hash_update(hasher: "hashlib._Hash", value: Any) -> None:
+    """Feed one key component into the hash, canonically and type-tagged."""
+    if isinstance(value, np.ndarray):
+        array = np.ascontiguousarray(value)
+        _hash_bytes(hasher, b"dtype:", str(array.dtype).encode())
+        _hash_bytes(hasher, b"shape:", str(array.shape).encode())
+        _hash_bytes(hasher, b"ndarray:", array.tobytes())
+    elif isinstance(value, (bool, np.bool_)):
+        _hash_bytes(hasher, b"bool:", str(bool(value)).encode())
+    elif isinstance(value, (int, np.integer)):
+        _hash_bytes(hasher, b"int:", str(int(value)).encode())
+    elif isinstance(value, (float, np.floating)):
+        _hash_bytes(hasher, b"float:", np.float64(value).tobytes())
+    elif isinstance(value, str):
+        _hash_bytes(hasher, b"str:", value.encode())
+    elif value is None:
+        hasher.update(b"none;")
+    elif isinstance(value, Mapping):
+        hasher.update(b"map{")
+        for key in sorted(value):
+            _hash_bytes(hasher, b"key:", str(key).encode())
+            _hash_update(hasher, value[key])
+        hasher.update(b"}")
+    elif isinstance(value, (list, tuple)):
+        hasher.update(b"seq[" + str(len(value)).encode() + b":")
+        for item in value:
+            _hash_update(hasher, item)
+        hasher.update(b"]")
+    else:
+        raise TypeError(f"unhashable cache-key component of type {type(value)!r}")
+
+
+def cache_digest(key: Mapping[str, Any]) -> str:
+    """SHA-256 digest of a canonicalized key mapping."""
+    hasher = hashlib.sha256()
+    hasher.update(f"schema:{SCHEMA_VERSION};".encode())
+    _hash_update(hasher, key)
+    return hasher.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters (per-process; parallel workers count separately)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+@dataclass
+class ArtifactCache:
+    """Disk-backed, content-addressed artifact store with a memory front.
+
+    Parameters
+    ----------
+    root:
+        Cache directory.  ``None`` resolves ``$REPRO_CACHE_DIR`` and falls
+        back to ``~/.cache/repro-matic``.
+    enabled:
+        When False (or when ``$REPRO_CACHE_DISABLE`` is set for the default
+        cache) every lookup misses and nothing is stored — the factory always
+        runs, which is the reference behaviour for equivalence tests.
+    memory_items:
+        Maximum number of artifacts kept in the in-process layer.
+    """
+
+    root: Path | str | None = None
+    enabled: bool = True
+    memory_items: int = 64
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.root is None:
+            env = os.environ.get(_ENV_DIR, "").strip()
+            self.root = Path(env) if env else Path.home() / ".cache" / "repro-matic"
+        self.root = Path(self.root)
+        self._memory: dict[str, Any] = {}
+
+    # ----------------------------------------------------------- plumbing
+
+    def _path(self, kind: str, digest: str) -> Path:
+        return self.root / kind / f"{digest}.pkl"
+
+    def get(self, kind: str, key: Mapping[str, Any]) -> Any | None:
+        """Return the cached artifact or None (counts a hit/miss)."""
+        if not self.enabled:
+            self.stats.misses += 1
+            return None
+        digest = cache_digest(key)
+        memory_key = f"{kind}/{digest}"
+        if memory_key in self._memory:
+            self.stats.hits += 1
+            return self._memory[memory_key]
+        path = self._path(kind, digest)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except Exception:
+            # a stale or corrupt artifact (including pickles referencing
+            # classes that later moved/renamed) must degrade to a miss, not
+            # crash every caller until the cache dir is deleted by hand
+            self.stats.misses += 1
+            return None
+        self._remember(memory_key, value)
+        self.stats.hits += 1
+        return value
+
+    def put(self, kind: str, key: Mapping[str, Any], value: Any) -> None:
+        """Store an artifact atomically (concurrent writers are idempotent)."""
+        if not self.enabled:
+            return
+        digest = cache_digest(key)
+        path = self._path(kind, digest)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        except OSError:
+            return
+        try:
+            with os.fdopen(handle, "wb") as temp_file:
+                pickle.dump(value, temp_file, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except Exception:
+            # an unpicklable artifact (or a full disk) must not crash the
+            # driver after the computation itself already succeeded
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            return
+        self._remember(f"{kind}/{digest}", value)
+        self.stats.stores += 1
+
+    def get_or_create(self, kind: str, key: Mapping[str, Any], factory: Callable[[], Any]) -> Any:
+        """Memoize ``factory()`` under ``(kind, key)``."""
+        value = self.get(kind, key)
+        if value is None:
+            value = factory()
+            self.put(kind, key, value)
+        return value
+
+    def _remember(self, memory_key: str, value: Any) -> None:
+        if len(self._memory) >= self.memory_items:
+            self._memory.pop(next(iter(self._memory)))
+        self._memory[memory_key] = value
+
+    def clear_memory(self) -> None:
+        """Drop the in-process layer (disk artifacts stay)."""
+        self._memory.clear()
+
+    def __getstate__(self) -> dict:
+        # keep pickles small when a cache rides inside a worker payload: the
+        # in-process layer is a per-process optimization, not shared state
+        state = self.__dict__.copy()
+        state["_memory"] = {}
+        state["stats"] = CacheStats()
+        return state
+
+
+_DEFAULT_CACHE: ArtifactCache | None = None
+
+
+def default_cache() -> ArtifactCache:
+    """The process-wide cache used when a driver is not handed one explicitly."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        disabled = os.environ.get(_ENV_DISABLE, "").strip() not in ("", "0", "false")
+        _DEFAULT_CACHE = ArtifactCache(enabled=not disabled)
+    return _DEFAULT_CACHE
+
+
+def set_default_cache(cache: ArtifactCache | None) -> None:
+    """Replace the process-wide default cache (None resets to lazy init)."""
+    global _DEFAULT_CACHE
+    _DEFAULT_CACHE = cache

@@ -5,6 +5,27 @@ the paper's evaluation.  They share a few needs: preparing a benchmark
 (dataset, split, pre-trained float baseline), deploying models onto chip
 instances, and rendering result tables as plain text that the benchmark
 harness prints next to the paper's reported values.
+
+Caching
+-------
+Preparing a benchmark trains a 40–60-epoch float baseline, and several
+drivers would otherwise retrain identical baselines.  All heavyweight
+artifacts are memoized through the content-addressed
+:class:`~repro.experiments.cache.ArtifactCache` (see that module for the
+on-disk layout): :func:`prepare_benchmark` caches the full prepared
+benchmark, :func:`train_cached` caches plain :class:`~repro.nn.trainer.Trainer`
+fits (Fig. 9b's topology sweep), and :func:`default_flow` wires the cache
+into the MATIC flow so memory-adaptive fine-tuning — the dominant cost of the
+voltage sweeps — trains each (initial weights, mask set, hyper-parameters)
+combination exactly once across the whole suite.
+
+Execution
+---------
+Grid-shaped drivers expand their operating points with
+:func:`~repro.experiments.engine.expand_grid` and execute them through a
+:class:`~repro.experiments.engine.SweepRunner` (serial or multiprocessing;
+see the engine module docstring for the worker model).  Drivers accept a
+``runner`` argument so callers can share one pool across experiments.
 """
 
 from __future__ import annotations
@@ -18,15 +39,18 @@ from ..datasets.registry import BenchmarkSpec, get_benchmark
 from ..matic.flow import MaticFlow, TrainingConfig
 from ..nn.data import Dataset
 from ..nn.network import Network
-from ..nn.trainer import Trainer
+from ..nn.trainer import Trainer, TrainingHistory
+from .cache import ArtifactCache, default_cache
 
 __all__ = [
     "PreparedBenchmark",
     "prepare_benchmark",
+    "train_cached",
     "default_flow",
     "make_chip",
     "format_table",
     "ExperimentResult",
+    "dataset_key",
 ]
 
 
@@ -56,17 +80,30 @@ _BASELINE_TRAINING = {
 }
 
 
+def dataset_key(dataset: Dataset) -> dict:
+    """Content key of a dataset (used to address trained-weight artifacts)."""
+    return {
+        "inputs": dataset.inputs,
+        "targets": dataset.targets,
+        "labels": dataset.labels if dataset.labels is not None else "none",
+    }
+
+
 def prepare_benchmark(
     name: str,
     num_samples: int | None = None,
     seed: int = 1,
     epochs: int | None = None,
+    cache: ArtifactCache | None = None,
 ) -> PreparedBenchmark:
-    """Generate data, split it, and train the float baseline for a benchmark."""
-    spec = get_benchmark(name)
-    dataset = spec.generate(num_samples=num_samples, seed=seed)
-    train, test = spec.split(dataset, seed=seed + 1)
-    baseline = spec.build_network(seed=seed + 2)
+    """Generate data, split it, and train the float baseline for a benchmark.
+
+    The result is memoized in the artifact cache under
+    ``(benchmark, seed, num_samples, epochs, training settings)`` so each
+    baseline is trained exactly once across the whole suite — including
+    across processes and sessions.
+    """
+    cache = cache if cache is not None else default_cache()
     settings = dict(
         _BASELINE_TRAINING.get(
             name, {"learning_rate": 0.2, "epochs": 50, "weight_decay": 2.0e-4}
@@ -74,30 +111,112 @@ def prepare_benchmark(
     )
     if epochs is not None:
         settings["epochs"] = epochs
-    trainer = Trainer(
-        baseline,
-        optimizer="momentum",
-        learning_rate=settings["learning_rate"],
-        epochs=settings["epochs"],
-        weight_decay=settings.get("weight_decay", 0.0),
-        batch_size=16,
-        seed=seed + 3,
-    )
-    trainer.fit(train)
-    error = spec.error(baseline.predict(test.inputs), test)
-    return PreparedBenchmark(
-        spec=spec, train=train, test=test, baseline=baseline, baseline_error=error
-    )
+    key = {
+        "benchmark": str(name).lower(),
+        "num_samples": num_samples if num_samples is not None else "default",
+        "seed": int(seed),
+        "settings": settings,
+    }
+
+    def build() -> PreparedBenchmark:
+        spec = get_benchmark(name)
+        dataset = spec.generate(num_samples=num_samples, seed=seed)
+        train, test = spec.split(dataset, seed=seed + 1)
+        baseline = spec.build_network(seed=seed + 2)
+        trainer = Trainer(
+            baseline,
+            optimizer="momentum",
+            learning_rate=settings["learning_rate"],
+            epochs=settings["epochs"],
+            weight_decay=settings.get("weight_decay", 0.0),
+            batch_size=16,
+            seed=seed + 3,
+        )
+        trainer.fit(train)
+        error = spec.error(baseline.predict(test.inputs), test)
+        return PreparedBenchmark(
+            spec=spec, train=train, test=test, baseline=baseline, baseline_error=error
+        )
+
+    return cache.get_or_create("prepared-benchmark", key, build)
 
 
-def default_flow(epochs: int = 60, seed: int = 0) -> MaticFlow:
-    """The MATIC flow configuration used by the evaluation drivers."""
+def train_cached(
+    network: Network,
+    train: Dataset,
+    *,
+    optimizer: str = "momentum",
+    learning_rate: float = 0.2,
+    epochs: int = 50,
+    batch_size: int = 16,
+    seed: int | None = 0,
+    weight_decay: float = 0.0,
+    lr_decay: float = 1.0,
+    patience: int | None = None,
+    cache: ArtifactCache | None = None,
+) -> TrainingHistory | None:
+    """Fit ``network`` in place, memoizing the trained weights.
+
+    The cache key hashes the initial weights, the dataset, and every
+    hyper-parameter, so a hit is guaranteed to reproduce the fit bit-exactly.
+    Returns the training history, or ``None`` on a cache hit (the history is
+    not part of the cached artifact).
+    """
+    cache = cache if cache is not None else default_cache()
+    key = {
+        "initial": network.get_weights(),
+        # identically initialized networks can differ only in structure:
+        # the objective and activations must keep artifacts apart
+        "network": {
+            "widths": tuple(network.widths),
+            "activations": tuple(layer.activation.name for layer in network.layers),
+            "loss": network.loss.name,
+        },
+        "dataset": dataset_key(train),
+        "optimizer": optimizer,
+        "learning_rate": float(learning_rate),
+        "epochs": int(epochs),
+        "batch_size": int(batch_size),
+        "seed": seed if seed is not None else "none",
+        "weight_decay": float(weight_decay),
+        "lr_decay": float(lr_decay),
+        "patience": patience if patience is not None else "none",
+    }
+    cached = cache.get("trained-weights", key)
+    if cached is not None:
+        network.set_weights(cached)
+        return None
+    history = Trainer(
+        network,
+        optimizer=optimizer,
+        learning_rate=learning_rate,
+        epochs=epochs,
+        batch_size=batch_size,
+        seed=seed,
+        weight_decay=weight_decay,
+        lr_decay=lr_decay,
+        patience=patience,
+    ).fit(train)
+    cache.put("trained-weights", key, network.get_weights())
+    return history
+
+
+def default_flow(
+    epochs: int = 60, seed: int = 0, cache: ArtifactCache | None = None
+) -> MaticFlow:
+    """The MATIC flow configuration used by the evaluation drivers.
+
+    The artifact cache is attached as the flow's training cache, so
+    memory-adaptive fine-tuning is memoized on (initial weights, injection
+    masks, dataset, hyper-parameters).
+    """
     return MaticFlow(
         word_bits=16,
         frac_bits=None,
         training=TrainingConfig(
             epochs=epochs, learning_rate=0.15, lr_decay=0.95, batch_size=32, seed=seed
         ),
+        training_cache=cache if cache is not None else default_cache(),
     )
 
 

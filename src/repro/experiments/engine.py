@@ -1,0 +1,208 @@
+"""Unified sweep engine: grid expansion plus a deterministic worker pool.
+
+Every experiment driver regenerates its table/figure by evaluating a grid of
+operating points — benchmark × voltage × temperature × correction mode (or a
+driver-specific axis such as fault rate or hidden width).  The engine gives
+all nine drivers one execution model:
+
+* :func:`expand_grid` turns axis values into an ordered list of
+  :class:`SweepTask` records, each carrying a per-task seed derived from the
+  root seed with :meth:`numpy.random.SeedSequence.spawn` — tasks are
+  statistically independent and their seeds do not depend on how the grid is
+  later scheduled;
+* :class:`SweepRunner` executes a task list either serially or on a
+  ``multiprocessing`` pool.  Results always come back in task order and are
+  bit-identical between the serial and parallel paths because workers receive
+  exactly (shared payload, task) and derive all randomness from the task
+  seed.
+
+Worker model
+------------
+``SweepRunner.map(fn, tasks, shared=...)`` pickles ``shared`` once per
+worker process (pool initializer), then streams the small task records.
+``fn`` must be a module-level callable of ``(shared, task)`` so it can be
+pickled under any start method.  Drivers keep state-free workers; sweeps
+whose points intentionally share mutable state (the Fig. 12 temperature
+schedule walks one chip through a chamber) run through the same API with
+``parallel=False``, which the engine honours by executing in-process.
+
+The worker count defaults to ``$REPRO_SWEEP_WORKERS`` or the CPU count; a
+single-CPU host therefore runs serially with zero pool overhead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+__all__ = ["SweepTask", "SweepRunner", "expand_grid"]
+
+_ENV_WORKERS = "REPRO_SWEEP_WORKERS"
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One grid point of a sweep.
+
+    The generic axes cover the common experiment grids; driver-specific axes
+    ride in ``params`` (a sorted tuple of key/value pairs so tasks stay
+    hashable and picklable).  ``seed`` is the task's private seed, already
+    derived from the sweep root; workers must draw every random decision from
+    it (e.g. ``np.random.default_rng(task.seed)``).
+    """
+
+    index: int
+    seed: int
+    benchmark: str | None = None
+    voltage: float | None = None
+    temperature: float | None = None
+    mode: str | None = None
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def param(self, name: str, default: Any = None) -> Any:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def with_params(self, **extra: Any) -> "SweepTask":
+        merged = dict(self.params)
+        merged.update(extra)
+        return replace(self, params=tuple(sorted(merged.items())))
+
+
+def expand_grid(
+    benchmarks: Sequence[str | None] = (None,),
+    voltages: Sequence[float | None] = (None,),
+    temperatures: Sequence[float | None] = (None,),
+    modes: Sequence[str | None] = (None,),
+    seed: int | None = 0,
+    params: Iterable[dict[str, Any]] | None = None,
+) -> list[SweepTask]:
+    """Expand axes into an ordered task list with independent per-task seeds.
+
+    The cartesian product iterates benchmarks outermost and modes innermost
+    (matching the serial loops the drivers used historically).  ``params``
+    optionally replaces the generic axes entirely: each dict becomes one task
+    (useful for driver-specific grids such as Fig. 5's fault rates).
+    """
+    combos: list[dict[str, Any]]
+    if params is not None:
+        combos = [dict(p) for p in params]
+    else:
+        combos = [
+            {"benchmark": b, "voltage": v, "temperature": t, "mode": m}
+            for b in benchmarks
+            for v in voltages
+            for t in temperatures
+            for m in modes
+        ]
+    root = np.random.SeedSequence(seed)
+    children = root.spawn(len(combos)) if combos else []
+    tasks = []
+    for index, (combo, child) in enumerate(zip(combos, children)):
+        fields = {"benchmark", "voltage", "temperature", "mode"}
+        base = {k: combo.get(k) for k in fields}
+        extra = tuple(sorted((k, v) for k, v in combo.items() if k not in fields))
+        tasks.append(
+            SweepTask(
+                index=index,
+                # full 128 bits of the spawned sequence's entropy: truncating
+                # to one word would re-introduce birthday collisions between
+                # large grids' task seeds
+                seed=int.from_bytes(
+                    child.generate_state(4, dtype=np.uint32).tobytes(), "little"
+                ),
+                params=extra,
+                **base,
+            )
+        )
+    return tasks
+
+
+# Per-worker globals installed by the pool initializer: the shared payload is
+# pickled once per worker instead of once per task.
+_WORKER_FN: Callable[[Any, SweepTask], Any] | None = None
+_WORKER_SHARED: Any = None
+
+
+def _init_worker(fn: Callable[[Any, SweepTask], Any], shared: Any) -> None:
+    global _WORKER_FN, _WORKER_SHARED
+    _WORKER_FN = fn
+    _WORKER_SHARED = shared
+
+
+def _run_task(task: SweepTask) -> Any:
+    assert _WORKER_FN is not None, "worker used before initialization"
+    return _WORKER_FN(_WORKER_SHARED, task)
+
+
+def _default_workers() -> int:
+    env = os.environ.get(_ENV_WORKERS, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+@dataclass
+class SweepRunner:
+    """Execute sweep tasks serially or on a deterministic worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes.  ``None`` → ``$REPRO_SWEEP_WORKERS`` or CPU count.
+        1 (or a single-CPU host) always takes the in-process path.
+    parallel:
+        Master switch; ``False`` forces in-process execution regardless of
+        ``workers`` (used by sweeps whose points share mutable state).
+    mp_context:
+        ``multiprocessing`` start method (``"fork"`` on Linux keeps worker
+        start cheap; ``"spawn"`` works wherever fork is unavailable).
+    chunksize:
+        Tasks handed to a worker per dispatch.
+    """
+
+    workers: int | None = None
+    parallel: bool = True
+    mp_context: str | None = None
+    chunksize: int = 1
+    #: number of tasks executed through this runner (serial + parallel)
+    tasks_run: int = field(default=0, init=False)
+
+    def effective_workers(self, num_tasks: int) -> int:
+        if not self.parallel or num_tasks <= 1:
+            return 1
+        workers = self.workers if self.workers is not None else _default_workers()
+        return max(1, min(int(workers), num_tasks))
+
+    def map(
+        self,
+        fn: Callable[[Any, SweepTask], Any],
+        tasks: Sequence[SweepTask],
+        shared: Any = None,
+    ) -> list[Any]:
+        """Run ``fn(shared, task)`` for every task; results in task order."""
+        tasks = list(tasks)
+        self.tasks_run += len(tasks)
+        workers = self.effective_workers(len(tasks))
+        if workers == 1:
+            return [fn(shared, task) for task in tasks]
+        # fork is only reliably safe on Linux: macOS lists it as available,
+        # but forking after numpy/Accelerate initialization aborts or
+        # deadlocks in the children (hence CPython's spawn default there)
+        method = self.mp_context or ("fork" if sys.platform == "linux" else "spawn")
+        context = multiprocessing.get_context(method)
+        with context.Pool(
+            processes=workers, initializer=_init_worker, initargs=(fn, shared)
+        ) as pool:
+            return pool.map(_run_task, tasks, chunksize=max(1, self.chunksize))

@@ -10,6 +10,11 @@ digit-recognition benchmark: for each fault rate it reports the error of
   imposed at deployment, and
 * the *memory-adaptive* model — the same initial model fine-tuned with the
   masks injected during training.
+
+Each fault rate is one :class:`~repro.experiments.engine.SweepTask`; the
+tasks are independent (they share only the read-only prepared benchmark) and
+run through a :class:`~repro.experiments.engine.SweepRunner`, with the
+memory-adaptive fine-tuning memoized in the artifact cache.
 """
 
 from __future__ import annotations
@@ -18,10 +23,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..matic.flow import MaticFlow, TrainingConfig
 from ..matic.masking import FaultMaskSet
-from ..matic.training import MemoryAdaptiveTrainer
 from ..quant.quantizer import WeightQuantizer
-from .common import ExperimentResult, PreparedBenchmark, fmt_percent, prepare_benchmark
+from .cache import ArtifactCache, default_cache
+from .common import (
+    ExperimentResult,
+    PreparedBenchmark,
+    fmt_percent,
+    prepare_benchmark,
+)
+from .engine import SweepRunner, SweepTask, expand_grid
 
 __all__ = ["Fig5Point", "run_fig5"]
 
@@ -71,6 +83,47 @@ class Fig5Result:
         )
 
 
+def _fig5_point_worker(shared: dict, task: SweepTask) -> Fig5Point:
+    """Evaluate naive and memory-adaptive error at one fault rate."""
+    prepared: PreparedBenchmark = shared["prepared"]
+    quantizer = WeightQuantizer(
+        total_bits=shared["word_bits"], frac_bits=shared["frac_bits"]
+    )
+    rate = task.param("fault_rate")
+    mask_rng = np.random.default_rng(shared["seed"] * 1000 + task.index)
+
+    # naive: clean training, faults imposed at deployment
+    naive = prepared.baseline.copy()
+    masks = FaultMaskSet.random(naive, quantizer, rate, rng=mask_rng)
+    masks.install(naive)
+    naive_error = prepared.spec.error(naive.predict(prepared.test.inputs), prepared.test)
+
+    # adaptive: fine-tune the same starting point with the same masks.  The
+    # memoized fit (key schema included) is the flow's — one implementation
+    # for every "trained-weights" artifact in the suite.
+    adaptive = prepared.baseline.copy()
+    flow = MaticFlow(
+        word_bits=shared["word_bits"],
+        frac_bits=shared["frac_bits"],
+        training=TrainingConfig(
+            optimizer="momentum",
+            learning_rate=0.15,
+            batch_size=32,
+            epochs=int(shared["adaptive_epochs"]),
+            patience=None,
+            lr_decay=0.95,
+            weight_decay=0.0,
+            seed=shared["seed"] + 7,
+        ),
+        training_cache=shared["cache"],
+    )
+    flow.fit_adaptive(adaptive, masks, prepared.train, None)
+    adaptive_error = prepared.spec.error(
+        adaptive.predict(prepared.test.inputs), prepared.test
+    )
+    return Fig5Point(fault_rate=rate, naive_error=naive_error, adaptive_error=adaptive_error)
+
+
 def run_fig5(
     fault_rates: tuple[float, ...] = DEFAULT_FAULT_RATES,
     benchmark: str = "mnist",
@@ -80,36 +133,27 @@ def run_fig5(
     frac_bits: int = 13,
     seed: int = 1,
     prepared: PreparedBenchmark | None = None,
+    runner: SweepRunner | None = None,
+    cache: ArtifactCache | None = None,
 ) -> Fig5Result:
     """Run the Fig. 5 sweep and return the naive/adaptive error curves."""
-    prepared = prepared or prepare_benchmark(benchmark, num_samples=num_samples, seed=seed)
-    quantizer = WeightQuantizer(total_bits=word_bits, frac_bits=frac_bits)
+    cache = cache if cache is not None else default_cache()
+    prepared = prepared or prepare_benchmark(
+        benchmark, num_samples=num_samples, seed=seed, cache=cache
+    )
+    runner = runner or SweepRunner()
+    tasks = expand_grid(
+        params=[{"fault_rate": float(rate)} for rate in fault_rates], seed=seed
+    )
+    shared = {
+        "prepared": prepared,
+        "word_bits": word_bits,
+        "frac_bits": frac_bits,
+        "adaptive_epochs": adaptive_epochs,
+        "seed": seed,
+        "cache": cache,
+    }
+    points = runner.map(_fig5_point_worker, tasks, shared=shared)
     result = Fig5Result(benchmark=prepared.name, baseline_error=prepared.baseline_error)
-
-    for index, rate in enumerate(fault_rates):
-        mask_rng = np.random.default_rng(seed * 1000 + index)
-        # naive: clean training, faults imposed at deployment
-        naive = prepared.baseline.copy()
-        masks = FaultMaskSet.random(naive, quantizer, rate, rng=mask_rng)
-        masks.install(naive)
-        naive_error = prepared.spec.error(naive.predict(prepared.test.inputs), prepared.test)
-
-        # adaptive: fine-tune the same starting point with the same masks
-        adaptive = prepared.baseline.copy()
-        trainer = MemoryAdaptiveTrainer(
-            adaptive,
-            masks,
-            learning_rate=0.15,
-            lr_decay=0.95,
-            batch_size=32,
-            epochs=adaptive_epochs,
-            seed=seed + 7,
-        )
-        trainer.fit(prepared.train)
-        adaptive_error = prepared.spec.error(
-            adaptive.predict(prepared.test.inputs), prepared.test
-        )
-        result.points.append(
-            Fig5Point(fault_rate=rate, naive_error=naive_error, adaptive_error=adaptive_error)
-        )
+    result.points.extend(points)
     return result

@@ -12,6 +12,12 @@ topology that does not sacrifice accuracy, "to avoid biased
 over-parameterization" (an over-parameterized model would hide the impact of
 SRAM faults).  The driver sweeps hidden widths for one benchmark and reports
 test error and parameter count per topology.
+
+Both sweeps run through the :class:`~repro.experiments.engine.SweepRunner`:
+Fig. 9a expands the voltage axis (each task profiles its own identically
+seeded bank, so tasks are independent and order-free), Fig. 9b expands the
+hidden-width axis with each candidate's training memoized in the artifact
+cache.
 """
 
 from __future__ import annotations
@@ -21,11 +27,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..nn.network import Network
-from ..nn.trainer import Trainer
 from ..sram import calibration
 from ..sram.array import SramBank
 from ..sram.profiler import SramProfiler
-from .common import ExperimentResult, fmt, fmt_percent, prepare_benchmark
+from .cache import ArtifactCache, default_cache
+from .common import ExperimentResult, fmt, fmt_percent, prepare_benchmark, train_cached
+from .engine import SweepRunner, SweepTask, expand_grid
 
 __all__ = ["run_fig9a", "run_fig9b", "Fig9aPoint", "Fig9bPoint"]
 
@@ -66,35 +73,48 @@ class Fig9aResult:
         )
 
 
+def _fig9a_point_worker(shared: dict, task: SweepTask) -> Fig9aPoint:
+    """Profile one identically seeded bank at one voltage."""
+    bank = SramBank(shared["num_words"], shared["word_bits"], seed=shared["seed"])
+    voltage = float(task.voltage)
+    report = SramProfiler().profile_bank(bank, voltage, shared["temperature"])
+    predicted = float(bank.variation_model.failure_probability(voltage))
+    word_rate = len(report.fault_map.faulty_addresses) / bank.num_words
+    return Fig9aPoint(
+        voltage=voltage,
+        measured_rate=report.fault_rate,
+        predicted_rate=predicted,
+        word_rate=word_rate,
+    )
+
+
 def run_fig9a(
     voltages: np.ndarray | None = None,
     num_words: int = 4608,
     word_bits: int = 16,
     seed: int = 3,
     temperature: float = calibration.NOMINAL_TEMPERATURE,
+    runner: SweepRunner | None = None,
 ) -> Fig9aResult:
     """Profile a weight-SRAM-sized bank across the voltage sweep of Fig. 9a.
 
     The default geometry (4608 × 16 bits = 9 KB) matches the paper's total
-    on-chip SRAM so the measured tail statistics are comparable.
+    on-chip SRAM so the measured tail statistics are comparable.  Every task
+    reconstructs the bank from the same seed, so the sweep is embarrassingly
+    parallel and the measured curve does not depend on profiling order.
     """
     if voltages is None:
         voltages = np.arange(0.40, 0.561, 0.01)
-    bank = SramBank(num_words, word_bits, seed=seed)
-    profiler = SramProfiler()
+    runner = runner or SweepRunner()
+    tasks = expand_grid(voltages=[float(v) for v in np.asarray(voltages, dtype=float)], seed=seed)
+    shared = {
+        "num_words": num_words,
+        "word_bits": word_bits,
+        "seed": seed,
+        "temperature": temperature,
+    }
     result = Fig9aResult()
-    for voltage in np.asarray(voltages, dtype=float):
-        report = profiler.profile_bank(bank, float(voltage), temperature)
-        predicted = float(bank.variation_model.failure_probability(voltage))
-        word_rate = len(report.fault_map.faulty_addresses) / bank.num_words
-        result.points.append(
-            Fig9aPoint(
-                voltage=float(voltage),
-                measured_rate=report.fault_rate,
-                predicted_rate=predicted,
-                word_rate=word_rate,
-            )
-        )
+    result.points.extend(runner.map(_fig9a_point_worker, tasks, shared=shared))
     return result
 
 
@@ -130,39 +150,65 @@ class Fig9bResult:
         )
 
 
+def _fig9b_point_worker(shared: dict, task: SweepTask) -> Fig9bPoint:
+    """Train and evaluate one candidate topology (training memoized)."""
+    prepared = shared["prepared"]
+    spec = prepared.spec
+    hidden = task.param("hidden")
+    topology = f"{shared['input_width']}-{hidden}-{shared['output_width']}"
+    network = Network(
+        topology,
+        hidden_activation=spec.hidden_activation,
+        output_activation=spec.output_activation,
+        loss=spec.loss,
+        seed=shared["seed"] + 2,
+    )
+    train_cached(
+        network,
+        prepared.train,
+        learning_rate=0.2,
+        epochs=shared["epochs"],
+        batch_size=16,
+        seed=shared["seed"] + 3,
+        cache=shared["cache"],
+    )
+    test_error = spec.error(network.predict(prepared.test.inputs), prepared.test)
+    train_error = spec.error(network.predict(prepared.train.inputs), prepared.train)
+    return Fig9bPoint(
+        topology=topology,
+        num_parameters=network.num_parameters,
+        test_error=test_error,
+        train_error=train_error,
+    )
+
+
 def run_fig9b(
     benchmark: str = "mnist",
     hidden_widths: tuple[int, ...] = (4, 8, 16, 32, 64, 128),
     num_samples: int = 1600,
     epochs: int = 40,
     seed: int = 1,
+    runner: SweepRunner | None = None,
+    cache: ArtifactCache | None = None,
 ) -> Fig9bResult:
     """Sweep hidden-layer width for one benchmark (Fig. 9b)."""
-    prepared = prepare_benchmark(benchmark, num_samples=num_samples, seed=seed, epochs=1)
+    cache = cache if cache is not None else default_cache()
+    prepared = prepare_benchmark(
+        benchmark, num_samples=num_samples, seed=seed, epochs=1, cache=cache
+    )
     spec = prepared.spec
     widths = spec.topology.split("-")
     input_width, output_width = int(widths[0]), int(widths[-1])
+    runner = runner or SweepRunner()
+    tasks = expand_grid(params=[{"hidden": int(h)} for h in hidden_widths], seed=seed)
+    shared = {
+        "prepared": prepared,
+        "input_width": input_width,
+        "output_width": output_width,
+        "epochs": epochs,
+        "seed": seed,
+        "cache": cache,
+    }
     result = Fig9bResult(benchmark=spec.name, selected_topology=spec.topology)
-    for hidden in hidden_widths:
-        topology = f"{input_width}-{hidden}-{output_width}"
-        network = Network(
-            topology,
-            hidden_activation=spec.hidden_activation,
-            output_activation=spec.output_activation,
-            loss=spec.loss,
-            seed=seed + 2,
-        )
-        Trainer(
-            network, learning_rate=0.2, epochs=epochs, batch_size=16, seed=seed + 3
-        ).fit(prepared.train)
-        test_error = spec.error(network.predict(prepared.test.inputs), prepared.test)
-        train_error = spec.error(network.predict(prepared.train.inputs), prepared.train)
-        result.points.append(
-            Fig9bPoint(
-                topology=topology,
-                num_parameters=network.num_parameters,
-                test_error=test_error,
-                train_error=train_error,
-            )
-        )
+    result.points.extend(runner.map(_fig9b_point_worker, tasks, shared=shared))
     return result

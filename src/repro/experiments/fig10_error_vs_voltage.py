@@ -11,6 +11,12 @@ Both models share the same topology and the same pre-trained starting point,
 exactly as in the paper ("the baseline and memory-adaptive models use the
 same DNN model topologies ... memory-adaptive training modifications are
 disabled for the naive case").
+
+The (benchmark × voltage × correction-mode) grid expands into independent
+:class:`~repro.experiments.engine.SweepTask` records — every task builds its
+own chip instance from the per-benchmark chip seed, so parallel and serial
+execution produce identical tables.  Memory-adaptive fine-tuning, the
+dominant cost, is memoized through the flow's training cache.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..matic.flow import MaticFlow
+from .cache import ArtifactCache, default_cache
 from .common import (
     ExperimentResult,
     PreparedBenchmark,
@@ -29,6 +36,7 @@ from .common import (
     make_chip,
     prepare_benchmark,
 )
+from .engine import SweepRunner, SweepTask, expand_grid
 
 __all__ = ["VoltagePoint", "BenchmarkSweep", "Fig10Result", "run_fig10", "DEFAULT_VOLTAGES"]
 
@@ -36,6 +44,10 @@ __all__ = ["VoltagePoint", "BenchmarkSweep", "Fig10Result", "run_fig10", "DEFAUL
 #: ~0.53 V down to the 0.46 V "significant error increase" point), plus the
 #: nominal 0.9 V reference.
 DEFAULT_VOLTAGES = (0.90, 0.53, 0.52, 0.51, 0.50, 0.48, 0.46)
+
+#: At and above this voltage the SRAM is fault-free, so MATIC is a no-op and
+#: the adaptive measurement reuses the naive one.
+NOMINAL_THRESHOLD = 0.89
 
 
 @dataclass
@@ -67,7 +79,7 @@ class BenchmarkSweep:
         """Average error increase (AEI) over the swept voltages."""
         errors = []
         for point in self.points:
-            if exclude_nominal and point.voltage >= 0.89:
+            if exclude_nominal and point.voltage >= NOMINAL_THRESHOLD:
                 continue
             error = point.naive_error if mode == "naive" else point.adaptive_error
             errors.append(max(error - self.nominal_error, 0.0))
@@ -111,6 +123,52 @@ class Fig10Result:
         )
 
 
+def _fig10_point_worker(shared: dict, task: SweepTask) -> dict:
+    """Measure one (benchmark, voltage, mode) grid point on a fresh chip."""
+    prepared: PreparedBenchmark = shared["prepared"][task.benchmark]
+    flow: MaticFlow = shared["flow"]
+    chip = make_chip(
+        seed=shared["chip_seed"] + shared["benchmark_index"][task.benchmark]
+    )
+    if task.mode == "naive":
+        deployment = flow.deploy_naive(
+            chip,
+            prepared.spec.topology,
+            prepared.train,
+            target_voltage=task.voltage,
+            loss=prepared.spec.loss,
+            initial_network=prepared.baseline,
+            profile=False,
+        )
+        error = prepared.spec.error(
+            deployment.run_at(prepared.test.inputs), prepared.test
+        )
+        fault_rate = 0.0
+    else:
+        deployment = flow.deploy_adaptive(
+            chip,
+            prepared.spec.topology,
+            prepared.train,
+            target_voltage=task.voltage,
+            loss=prepared.spec.loss,
+            initial_network=prepared.baseline,
+            select_canaries=False,
+        )
+        error = prepared.spec.error(
+            deployment.run_at(prepared.test.inputs), prepared.test
+        )
+        fault_rate = float(
+            np.mean([fault_map.fault_rate for fault_map in deployment.fault_maps])
+        )
+    return {
+        "benchmark": task.benchmark,
+        "voltage": task.voltage,
+        "mode": task.mode,
+        "error": error,
+        "fault_rate": fault_rate,
+    }
+
+
 def run_fig10(
     benchmarks: tuple[str, ...] = ("mnist", "facedet", "inversek2j", "bscholes"),
     voltages: tuple[float, ...] = DEFAULT_VOLTAGES,
@@ -120,65 +178,61 @@ def run_fig10(
     chip_seed: int = 11,
     flow: MaticFlow | None = None,
     prepared_benchmarks: dict[str, PreparedBenchmark] | None = None,
+    runner: SweepRunner | None = None,
+    cache: ArtifactCache | None = None,
 ) -> Fig10Result:
     """Run the full voltage sweep for the requested benchmarks."""
-    flow = flow or default_flow(epochs=adaptive_epochs, seed=seed)
-    result = Fig10Result()
+    cache = cache if cache is not None else default_cache()
+    flow = flow or default_flow(epochs=adaptive_epochs, seed=seed, cache=cache)
+    runner = runner or SweepRunner()
 
-    for benchmark_index, name in enumerate(benchmarks):
+    prepared: dict[str, PreparedBenchmark] = {}
+    for name in benchmarks:
         if prepared_benchmarks and name in prepared_benchmarks:
-            prepared = prepared_benchmarks[name]
+            prepared[name] = prepared_benchmarks[name]
         else:
-            prepared = prepare_benchmark(name, num_samples=num_samples, seed=seed)
+            prepared[name] = prepare_benchmark(
+                name, num_samples=num_samples, seed=seed, cache=cache
+            )
+
+    # at nominal voltage MATIC is a no-op: only the naive point is measured
+    # and its error is reused for the adaptive column during assembly
+    grid = [
+        {"benchmark": name, "voltage": float(voltage), "mode": mode}
+        for name in benchmarks
+        for voltage in voltages
+        for mode in (
+            ("naive",) if voltage >= NOMINAL_THRESHOLD else ("naive", "adaptive")
+        )
+    ]
+    tasks = expand_grid(params=grid, seed=seed)
+    shared = {
+        "prepared": prepared,
+        "flow": flow,
+        "chip_seed": chip_seed,
+        "benchmark_index": {name: index for index, name in enumerate(benchmarks)},
+    }
+    measurements = runner.map(_fig10_point_worker, tasks, shared=shared)
+
+    by_point = {
+        (m["benchmark"], round(m["voltage"], 9), m["mode"]): m for m in measurements
+    }
+    result = Fig10Result()
+    for name in benchmarks:
         sweep = BenchmarkSweep(
             benchmark=name,
-            metric=prepared.spec.error_metric,
-            nominal_error=prepared.baseline_error,
+            metric=prepared[name].spec.error_metric,
+            nominal_error=prepared[name].baseline_error,
         )
-
-        for voltage_index, voltage in enumerate(voltages):
-            chip_naive = make_chip(seed=chip_seed + benchmark_index)
-            naive = flow.deploy_naive(
-                chip_naive,
-                prepared.spec.topology,
-                prepared.train,
-                target_voltage=voltage,
-                loss=prepared.spec.loss,
-                initial_network=prepared.baseline,
-            )
-            naive_error = prepared.spec.error(
-                naive.run_at(prepared.test.inputs), prepared.test
-            )
-
-            if voltage >= 0.89:
-                # at nominal voltage MATIC is a no-op: reuse the naive
-                # deployment's measurement for the adaptive column
-                adaptive_error = naive_error
-                fault_rate = 0.0
-            else:
-                chip_adaptive = make_chip(seed=chip_seed + benchmark_index)
-                adaptive = flow.deploy_adaptive(
-                    chip_adaptive,
-                    prepared.spec.topology,
-                    prepared.train,
-                    target_voltage=voltage,
-                    loss=prepared.spec.loss,
-                    initial_network=prepared.baseline,
-                    select_canaries=False,
-                )
-                adaptive_error = prepared.spec.error(
-                    adaptive.run_at(prepared.test.inputs), prepared.test
-                )
-                fault_rate = float(
-                    np.mean([fault_map.fault_rate for fault_map in adaptive.fault_maps])
-                )
-
+        for voltage in voltages:
+            naive = by_point[(name, round(float(voltage), 9), "naive")]
+            adaptive = by_point.get((name, round(float(voltage), 9), "adaptive"))
             sweep.points.append(
                 VoltagePoint(
                     voltage=float(voltage),
-                    bit_fault_rate=fault_rate,
-                    naive_error=naive_error,
-                    adaptive_error=adaptive_error,
+                    bit_fault_rate=adaptive["fault_rate"] if adaptive else 0.0,
+                    naive_error=naive["error"],
+                    adaptive_error=adaptive["error"] if adaptive else naive["error"],
                 )
             )
         result.sweeps.append(sweep)

@@ -19,6 +19,7 @@ from ..accelerator.energy import (
     SnnacEnergyModel,
 )
 from .common import ExperimentResult, fmt
+from .engine import SweepRunner, SweepTask, expand_grid
 
 __all__ = ["Fig11Result", "run_fig11"]
 
@@ -101,14 +102,32 @@ class Fig11Result:
         )
 
 
+def _fig11_point_worker(shared: dict, task: SweepTask) -> EnergyBreakdown:
+    """Decompose per-cycle energy at one operating point."""
+    model: SnnacEnergyModel = shared["model"]
+    return model.breakdown(shared["points"][task.param("point")])
+
+
 def run_fig11(
     energy_model: SnnacEnergyModel | None = None,
     optimized_point: OperatingPoint = ENERGY_OPTIMAL_POINT,
+    runner: SweepRunner | None = None,
 ) -> Fig11Result:
-    """Recompute the Fig. 11 energy breakdown from the calibrated model."""
+    """Recompute the Fig. 11 energy breakdown from the calibrated model.
+
+    The two operating points run as engine tasks — trivially cheap here, so
+    the default runner stays on the in-process path (a pool would cost far
+    more than the two analytic evaluations).
+    """
     model = energy_model or SnnacEnergyModel()
+    runner = runner or SweepRunner(parallel=False)
+    points = {"nominal": NOMINAL_OPERATING_POINT, "optimized": optimized_point}
+    tasks = expand_grid(params=[{"point": name} for name in points])
+    nominal, optimized = runner.map(
+        _fig11_point_worker, tasks, shared={"model": model, "points": points}
+    )
     return Fig11Result(
-        nominal=model.breakdown(NOMINAL_OPERATING_POINT),
-        optimized=model.breakdown(optimized_point),
+        nominal=nominal,
+        optimized=optimized,
         optimized_point=optimized_point,
     )

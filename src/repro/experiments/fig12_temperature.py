@@ -22,6 +22,7 @@ import numpy as np
 
 from ..matic.flow import MaticDeployment
 from ..sram.variation import EnvironmentalConditions, TemperatureChamber
+from .cache import ArtifactCache, default_cache
 from .common import (
     ExperimentResult,
     default_flow,
@@ -29,6 +30,7 @@ from .common import (
     make_chip,
     prepare_benchmark,
 )
+from .engine import SweepRunner, SweepTask, expand_grid
 
 __all__ = ["TemperatureStep", "Fig12Result", "run_fig12"]
 
@@ -88,6 +90,30 @@ class Fig12Result:
         )
 
 
+def _fig12_step_worker(shared: dict, task: SweepTask) -> TemperatureStep:
+    """Execute one stabilized chamber step on the shared chip.
+
+    The chamber schedule intentionally walks *one* chip through consecutive
+    conditions (regulator state and storage corruption carry across steps,
+    as in the physical experiment), so these tasks run on the engine's
+    serial path and share live objects through the payload.
+    """
+    deployment: MaticDeployment = shared["deployment"]
+    prepared = shared["prepared"]
+    conditions: EnvironmentalConditions = shared["conditions"][task.index]
+    chip = deployment.chip
+    chip.set_environment(conditions)
+    trace = deployment.controller.regulate(safe_voltage=shared["safe_voltage"])
+    outputs, _ = chip.run_inference(prepared.test.inputs)
+    error = prepared.spec.error(outputs, prepared.test)
+    return TemperatureStep(
+        temperature=conditions.temperature,
+        sram_voltage=trace.final_voltage,
+        canary_failure_voltage=trace.canary_failure_voltage,
+        application_error=error,
+    )
+
+
 def run_fig12(
     benchmark: str = "inversek2j",
     target_voltage: float = 0.50,
@@ -98,12 +124,16 @@ def run_fig12(
     safe_voltage: float = 0.60,
     chamber: TemperatureChamber | None = None,
     deployment: MaticDeployment | None = None,
+    cache: ArtifactCache | None = None,
 ) -> Fig12Result:
     """Run the temperature-chamber experiment with the canary controller."""
-    prepared = prepare_benchmark(benchmark, num_samples=num_samples, seed=seed)
+    cache = cache if cache is not None else default_cache()
+    prepared = prepare_benchmark(
+        benchmark, num_samples=num_samples, seed=seed, cache=cache
+    )
     if deployment is None:
         chip = make_chip(seed=chip_seed)
-        flow = default_flow(epochs=adaptive_epochs, seed=seed)
+        flow = default_flow(epochs=adaptive_epochs, seed=seed, cache=cache)
         deployment = flow.deploy_adaptive(
             chip,
             prepared.spec.topology,
@@ -120,26 +150,25 @@ def run_fig12(
     deployment.controller.voltage_step = 0.005
 
     chamber = chamber or TemperatureChamber()
-    chip = deployment.chip
+    conditions = list(chamber.conditions())
     result = Fig12Result(
         benchmark=benchmark,
         target_voltage=target_voltage,
         nominal_error=prepared.baseline_error,
     )
 
-    for conditions in chamber.conditions():
-        chip.set_environment(conditions)
-        trace = deployment.controller.regulate(safe_voltage=safe_voltage)
-        outputs, _ = chip.run_inference(prepared.test.inputs)
-        error = prepared.spec.error(outputs, prepared.test)
-        result.steps.append(
-            TemperatureStep(
-                temperature=conditions.temperature,
-                sram_voltage=trace.final_voltage,
-                canary_failure_voltage=trace.canary_failure_voltage,
-                application_error=error,
-            )
-        )
+    # state carries between chamber steps: force the engine's serial path
+    runner = SweepRunner(parallel=False)
+    tasks = expand_grid(
+        params=[{"temperature": c.temperature} for c in conditions], seed=seed
+    )
+    shared = {
+        "deployment": deployment,
+        "prepared": prepared,
+        "conditions": conditions,
+        "safe_voltage": safe_voltage,
+    }
+    result.steps.extend(runner.map(_fig12_step_worker, tasks, shared=shared))
     # leave the chamber back at nominal conditions
-    chip.set_environment(EnvironmentalConditions())
+    deployment.chip.set_environment(EnvironmentalConditions())
     return result

@@ -155,8 +155,15 @@ def run_table1(
     adaptive_epochs: int = 60,
     seed: int = 1,
     sweep: Fig10Result | None = None,
+    runner=None,
+    cache=None,
 ) -> Table1Result:
-    """Regenerate Table I (reusing a Fig. 10 sweep when provided)."""
+    """Regenerate Table I (reusing a Fig. 10 sweep when provided).
+
+    When no sweep is handed in, the underlying Fig. 10 grid runs through the
+    sweep engine — with a warm artifact cache the shared baselines and
+    memory-adaptive trainings are all recalled rather than retrained.
+    """
     if sweep is None:
         sweep = run_fig10(
             benchmarks=benchmarks,
@@ -164,6 +171,8 @@ def run_table1(
             num_samples=num_samples,
             adaptive_epochs=adaptive_epochs,
             seed=seed,
+            runner=runner,
+            cache=cache,
         )
     result = Table1Result(sweep=sweep)
     for name in benchmarks:

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..accelerator.energy import OperatingPoint, SnnacEnergyModel
 from .common import ExperimentResult, fmt
+from .engine import SweepRunner, SweepTask, expand_grid
 
 __all__ = ["ScenarioResult", "Table2Result", "run_table2", "PAPER_TABLE2"]
 
@@ -112,55 +113,78 @@ class Table2Result:
         )
 
 
+def _table2_scenario_worker(shared: dict, task: SweepTask) -> ScenarioResult:
+    """Recompute one operating scenario (voltage searches included)."""
+    model: SnnacEnergyModel = shared["model"]
+    accuracy_floor_voltage = shared["accuracy_floor_voltage"]
+    sram_nominal_voltage = shared["sram_nominal_voltage"]
+    max_frequency = shared["max_frequency"]
+    name = task.mode
+
+    if name == "HighPerf":
+        logic_v = model.logic_frequency.min_voltage_for(max_frequency)
+        sram_timing_floor = model.sram_frequency.min_voltage_for(max_frequency)
+        sram_v = max(accuracy_floor_voltage, sram_timing_floor)
+        matic_point = OperatingPoint(logic_v, sram_v, max_frequency, "HighPerf")
+        baseline_point = OperatingPoint(
+            logic_v, sram_nominal_voltage, max_frequency, "HighPerf_base"
+        )
+    elif name == "EnOpt_split":
+        logic_mep_voltage, logic_mep_frequency = model.logic_minimum_energy_point()
+        sram_v = max(
+            accuracy_floor_voltage,
+            model.sram_frequency.min_voltage_for(logic_mep_frequency),
+        )
+        matic_point = OperatingPoint(
+            logic_mep_voltage, sram_v, logic_mep_frequency, "EnOpt_split"
+        )
+        baseline_point = OperatingPoint(
+            logic_mep_voltage, sram_nominal_voltage, logic_mep_frequency, "EnOpt_split_base"
+        )
+    elif name == "EnOpt_joint":
+        joint_voltage, joint_frequency = model.joint_minimum_energy_point(
+            min_sram_voltage=accuracy_floor_voltage
+        )
+        matic_point = OperatingPoint(
+            joint_voltage, joint_voltage, joint_frequency, "EnOpt_joint"
+        )
+        # a unified rail cannot scale below the SRAM's nominal requirement
+        # without MATIC, so the baseline stays at nominal voltage and frequency
+        baseline_point = OperatingPoint(
+            sram_nominal_voltage, sram_nominal_voltage, max_frequency, "EnOpt_joint_base"
+        )
+    else:
+        raise ValueError(f"unknown scenario {name!r}")
+    return _scenario(name, model, matic_point, baseline_point)
+
+
 def run_table2(
     energy_model: SnnacEnergyModel | None = None,
     accuracy_floor_voltage: float = 0.50,
     sram_nominal_voltage: float = 0.90,
     max_frequency: float = 250.0e6,
+    runner: SweepRunner | None = None,
 ) -> Table2Result:
     """Recompute the Table II scenarios from the calibrated chip model.
 
     ``accuracy_floor_voltage`` is the lowest SRAM voltage at which the
     deployed memory-adaptive models still meet their accuracy target — the
     MATIC knob that turns voltage scaling into an accuracy/energy trade-off.
+    Each scenario is one engine task on the in-process path (the analytic
+    model evaluations are far cheaper than a worker pool).
     """
     model = energy_model or SnnacEnergyModel()
+    runner = runner or SweepRunner(parallel=False)
+    scenario_names = ("HighPerf", "EnOpt_split", "EnOpt_joint")
+    tasks = expand_grid(modes=scenario_names)
+    shared = {
+        "model": model,
+        "accuracy_floor_voltage": accuracy_floor_voltage,
+        "sram_nominal_voltage": sram_nominal_voltage,
+        "max_frequency": max_frequency,
+    }
     result = Table2Result()
-
-    # ----------------------------------------------------------- HighPerf
-    logic_v_highperf = model.logic_frequency.min_voltage_for(max_frequency)
-    sram_timing_floor = model.sram_frequency.min_voltage_for(max_frequency)
-    sram_v_highperf = max(accuracy_floor_voltage, sram_timing_floor)
-    matic_point = OperatingPoint(logic_v_highperf, sram_v_highperf, max_frequency, "HighPerf")
-    baseline_point = OperatingPoint(
-        logic_v_highperf, sram_nominal_voltage, max_frequency, "HighPerf_base"
-    )
-    result.scenarios.append(_scenario("HighPerf", model, matic_point, baseline_point))
-
-    # -------------------------------------------------------- EnOpt_split
-    logic_mep_voltage, logic_mep_frequency = model.logic_minimum_energy_point()
-    sram_v_split = max(
-        accuracy_floor_voltage, model.sram_frequency.min_voltage_for(logic_mep_frequency)
-    )
-    matic_point = OperatingPoint(
-        logic_mep_voltage, sram_v_split, logic_mep_frequency, "EnOpt_split"
-    )
-    baseline_point = OperatingPoint(
-        logic_mep_voltage, sram_nominal_voltage, logic_mep_frequency, "EnOpt_split_base"
-    )
-    result.scenarios.append(_scenario("EnOpt_split", model, matic_point, baseline_point))
-
-    # -------------------------------------------------------- EnOpt_joint
-    joint_voltage, joint_frequency = model.joint_minimum_energy_point(
-        min_sram_voltage=accuracy_floor_voltage
-    )
-    matic_point = OperatingPoint(joint_voltage, joint_voltage, joint_frequency, "EnOpt_joint")
-    # a unified rail cannot scale below the SRAM's nominal requirement without
-    # MATIC, so the baseline stays at the nominal voltage and frequency
-    baseline_point = OperatingPoint(
-        sram_nominal_voltage, sram_nominal_voltage, max_frequency, "EnOpt_joint_base"
-    )
-    result.scenarios.append(_scenario("EnOpt_joint", model, matic_point, baseline_point))
+    result.scenarios.extend(runner.map(_table2_scenario_worker, tasks, shared=shared))
     return result
 
 

@@ -106,6 +106,14 @@ class MaticFlow:
         Number of in-situ canary cells per weight SRAM bank.
     canary_strategy:
         Selection strategy (``"profiled"`` or ``"oracle"``).
+    training_cache:
+        Optional artifact cache (duck-typed ``get(kind, key)`` /
+        ``put(kind, key, value)``, e.g.
+        :class:`repro.experiments.cache.ArtifactCache`).  When set,
+        memory-adaptive fine-tuning results are memoized on the *content* of
+        the run — initial weights, injection masks, training data, and every
+        hyper-parameter — so repeated deployments across a sweep grid train
+        each distinct combination once.
     """
 
     def __init__(
@@ -115,12 +123,14 @@ class MaticFlow:
         training: TrainingConfig | None = None,
         canaries_per_bank: int = 8,
         canary_strategy: str = "profiled",
+        training_cache=None,
     ) -> None:
         self.word_bits = int(word_bits)
         self.frac_bits = None if frac_bits is None else int(frac_bits)
         self.training = training or TrainingConfig()
         self.canaries_per_bank = int(canaries_per_bank)
         self.canary_strategy = canary_strategy
+        self.training_cache = training_cache
 
     # ------------------------------------------------------------ pieces
 
@@ -193,6 +203,107 @@ class MaticFlow:
             description=f"profiled masks for {network.name}",
         )
 
+    def _adaptive_cache_key(
+        self,
+        network: Network,
+        mask_set: FaultMaskSet,
+        train: Dataset,
+        validation: Dataset | None,
+    ) -> dict:
+        """Content key addressing one memory-adaptive fine-tuning run.
+
+        The validation split participates in the key because early stopping
+        (``patience``) makes the trained weights depend on it; the network's
+        structure/loss and the per-layer quantization formats participate
+        because identically initialized networks trained under different
+        objectives or word layouts must never share an artifact.
+        """
+        config = self.training
+        return {
+            "network": {
+                "widths": tuple(network.widths),
+                "activations": tuple(layer.activation.name for layer in network.layers),
+                "loss": network.loss.name,
+            },
+            "formats": tuple(
+                (
+                    fmt.weight_format.total_bits,
+                    fmt.weight_format.frac_bits,
+                    fmt.bias_format.total_bits,
+                    fmt.bias_format.frac_bits,
+                )
+                for fmt in mask_set.layer_formats
+            ),
+            "validation": (
+                {"inputs": validation.inputs, "targets": validation.targets}
+                if validation is not None
+                else "none"
+            ),
+            "initial": network.get_weights(),
+            "masks": [
+                (
+                    masks.weight_and,
+                    masks.weight_or,
+                    masks.bias_and,
+                    masks.bias_or,
+                    int(masks.word_bits),
+                )
+                for masks in mask_set.layer_masks
+            ],
+            "word_bits": int(mask_set.word_bits),
+            "train_inputs": train.inputs,
+            "train_targets": train.targets,
+            "optimizer": config.optimizer,
+            "learning_rate": float(config.learning_rate),
+            "batch_size": int(config.batch_size),
+            "epochs": int(config.epochs),
+            "patience": config.patience if config.patience is not None else "none",
+            "lr_decay": float(config.lr_decay),
+            "weight_decay": float(config.weight_decay),
+            "seed": config.seed if config.seed is not None else "none",
+        }
+
+    def fit_adaptive(
+        self,
+        network: Network,
+        mask_set: FaultMaskSet,
+        train: Dataset,
+        validation: Dataset | None,
+    ) -> TrainingHistory | None:
+        """Run (or recall) memory-adaptive fine-tuning; mutates ``network``.
+
+        Returns the training history, or ``None`` when the trained weights
+        came from the training cache (histories are not cached).
+        """
+        key = None
+        if self.training_cache is not None:
+            key = self._adaptive_cache_key(network, mask_set, train, validation)
+            cached = self.training_cache.get("trained-weights", key)
+            if cached is not None:
+                # restore the master weights, then reinstall the masked
+                # effective view exactly as MemoryAdaptiveTrainer.fit leaves
+                # it, so the recalled network is indistinguishable from a
+                # freshly trained one (predictions included)
+                network.set_weights(cached)
+                mask_set.install(network)
+                return None
+        trainer = MemoryAdaptiveTrainer(
+            network,
+            mask_set,
+            optimizer=self.training.optimizer,
+            learning_rate=self.training.learning_rate,
+            batch_size=self.training.batch_size,
+            epochs=self.training.epochs,
+            patience=self.training.patience,
+            lr_decay=self.training.lr_decay,
+            weight_decay=self.training.weight_decay,
+            seed=self.training.seed,
+        )
+        history = trainer.fit(train, validation=validation)
+        if self.training_cache is not None and key is not None:
+            self.training_cache.put("trained-weights", key, network.get_weights())
+        return history
+
     # ----------------------------------------------------------- the flow
 
     def deploy_adaptive(
@@ -232,19 +343,7 @@ class MaticFlow:
             )
         quantizer = self.quantizer_for(network)
         mask_set = self.build_mask_set(network, chip, fault_maps)
-        trainer = MemoryAdaptiveTrainer(
-            network,
-            mask_set,
-            optimizer=self.training.optimizer,
-            learning_rate=self.training.learning_rate,
-            batch_size=self.training.batch_size,
-            epochs=self.training.epochs,
-            patience=self.training.patience,
-            lr_decay=self.training.lr_decay,
-            weight_decay=self.training.weight_decay,
-            seed=self.training.seed,
-        )
-        history = trainer.fit(train, validation=validation)
+        history = self.fit_adaptive(network, mask_set, train, validation)
 
         # 3. deploy the trained model to the chip (quantized master weights)
         program = chip.deploy(network, quantizer)
@@ -290,8 +389,15 @@ class MaticFlow:
         hidden_activation: str = "sigmoid",
         output_activation: str = "sigmoid",
         initial_network: Network | None = None,
+        profile: bool = True,
     ) -> MaticDeployment:
-        """Deploy the naive baseline: same topology, no fault awareness."""
+        """Deploy the naive baseline: same topology, no fault awareness.
+
+        ``profile=False`` skips the fault-map profiling pass — the naive
+        deployment never *uses* the maps (that is the point of the baseline),
+        so sweep drivers that only measure naive error avoid the full
+        read-after-write profiling of every bank.
+        """
         if initial_network is not None:
             network = initial_network.copy()
             history = None
@@ -309,7 +415,7 @@ class MaticFlow:
             history = self.train_baseline(network, train, validation)
         quantizer = self.quantizer_for(network)
         program = chip.deploy(network, quantizer)
-        fault_maps = self.profile_chip(chip, target_voltage)
+        fault_maps = self.profile_chip(chip, target_voltage) if profile else []
         mask_set = FaultMaskSet.identity(network, quantizer)
         chip.sram_regulator.set_voltage(target_voltage)
         return MaticDeployment(

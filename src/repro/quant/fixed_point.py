@@ -79,12 +79,21 @@ class FixedPointFormat:
         """Quantize float values to integer codes with saturation.
 
         Rounding is round-half-away-from-zero to match typical hardware
-        quantizers; results are ``int64``.
+        quantizers; results are ``int64``.  Saturation is decided in the
+        float domain but the clip itself happens on integers: float64 cannot
+        represent every code of formats wider than 53 bits, so clipping
+        against ``float(max_code)`` would overflow the int64 cast for
+        ``total_bits`` near 64.
         """
         values = np.asarray(values, dtype=float)
         scaled = values / self.scale
-        codes = np.sign(scaled) * np.floor(np.abs(scaled) + 0.5)
-        codes = np.clip(codes, self.min_code, self.max_code)
+        rounded = np.sign(scaled) * np.floor(np.abs(scaled) + 0.5)
+        # float(max_code) rounds up to 2**(total_bits-1) for wide formats, so
+        # anything at or above it saturates; float(min_code) is always exact.
+        high = rounded >= float(self.max_code)
+        low = rounded <= float(self.min_code)
+        in_range = np.where(high | low, 0.0, rounded).astype(np.int64)
+        codes = np.where(high, self.max_code, np.where(low, self.min_code, in_range))
         return codes.astype(np.int64)
 
     def dequantize_code(self, codes: np.ndarray) -> np.ndarray:
@@ -112,16 +121,20 @@ class FixedPointFormat:
         codes = np.asarray(codes, dtype=np.int64)
         if np.any(codes < self.min_code) or np.any(codes > self.max_code):
             raise ValueError("code out of range for this format")
-        return (codes & self.word_mask).astype(np.uint64)
+        # mask in the uint64 domain: `int64 & word_mask` overflows for a
+        # 64-bit word_mask (2**64 - 1 does not fit in int64)
+        return codes.astype(np.uint64) & np.uint64(self.word_mask)
 
     def word_to_code(self, words: np.ndarray) -> np.ndarray:
         """Convert unsigned two's-complement words back to signed codes."""
         words = np.asarray(words, dtype=np.uint64) & np.uint64(self.word_mask)
-        sign_bit = np.uint64(1 << (self.total_bits - 1))
-        codes = words.astype(np.int64)
+        sign_bit = np.uint64(1) << np.uint64(self.total_bits - 1)
         negative = (words & sign_bit) != 0
-        codes[negative] -= 1 << self.total_bits
-        return codes
+        # sign-extend in the uint64 domain, then reinterpret the bit pattern
+        # as int64 — subtracting 2**total_bits would overflow at 64 bits
+        extension = np.uint64(np.uint64(0xFFFFFFFFFFFFFFFF) ^ np.uint64(self.word_mask))
+        extended = np.where(negative, words | extension, words)
+        return np.ascontiguousarray(extended, dtype=np.uint64).view(np.int64)
 
     def float_to_word(self, values: np.ndarray) -> np.ndarray:
         """Quantize floats directly to two's-complement SRAM words."""

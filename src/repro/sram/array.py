@@ -213,7 +213,9 @@ class SramBank:
         if candidates.size == 0:
             return []
         flat_margin = -margin[safe.nonzero()]  # positive margins, smaller = more marginal
-        order = np.argsort(flat_margin)
+        # deterministic selection under ties: sort by (margin, address, bit)
+        # so canary choice does not depend on the platform's argsort internals
+        order = np.lexsort((candidates[:, 1], candidates[:, 0], flat_margin))
         selected = candidates[order[:count]]
         return [
             BitFault(
@@ -263,24 +265,29 @@ class WeightMemorySystem:
         words_per_bank: int,
         word_bits: int,
         variation_model: BitcellVariationModel | None = None,
-        seed: int | None = None,
+        seed: int | np.random.SeedSequence | None = None,
         name_prefix: str = "pe",
     ) -> "WeightMemorySystem":
-        """Construct ``num_banks`` banks with independent variation samples."""
+        """Construct ``num_banks`` banks with independent variation samples.
+
+        Per-bank generators are derived with :meth:`numpy.random.SeedSequence.spawn`,
+        which guarantees statistically independent streams (drawing integer
+        seeds from a root generator does not, and ``integers(0, 2**63 - 1)``
+        silently excluded one seed value).
+        """
         if num_banks <= 0:
             raise ValueError("num_banks must be positive")
-        root = np.random.default_rng(seed)
-        banks = []
-        for index in range(num_banks):
-            banks.append(
-                SramBank(
-                    words_per_bank,
-                    word_bits,
-                    variation_model=variation_model,
-                    seed=np.random.default_rng(root.integers(0, 2**63 - 1)),
-                    name=f"{name_prefix}{index}.weights",
-                )
+        root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+        banks = [
+            SramBank(
+                words_per_bank,
+                word_bits,
+                variation_model=variation_model,
+                seed=np.random.default_rng(child),
+                name=f"{name_prefix}{index}.weights",
             )
+            for index, child in enumerate(root.spawn(num_banks))
+        ]
         return cls(banks)
 
     def __len__(self) -> int:

@@ -1,0 +1,253 @@
+"""Tests for the sweep engine and the content-addressed artifact cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_fig5, run_fig9a, run_fig10
+from repro.experiments.cache import ArtifactCache, cache_digest
+from repro.experiments.engine import SweepRunner, SweepTask, expand_grid
+
+
+def _square_worker(shared, task):
+    rng = np.random.default_rng(task.seed)
+    return {
+        "index": task.index,
+        "value": task.param("value") ** 2 + shared["offset"],
+        "draw": float(rng.uniform()),
+    }
+
+
+class TestExpandGrid:
+    def test_cartesian_order_and_fields(self):
+        tasks = expand_grid(
+            benchmarks=("a", "b"), voltages=(0.9, 0.5), modes=("naive", "adaptive")
+        )
+        assert len(tasks) == 8
+        assert [t.index for t in tasks] == list(range(8))
+        # benchmarks outermost, modes innermost
+        assert tasks[0].benchmark == "a" and tasks[0].voltage == 0.9
+        assert tasks[0].mode == "naive" and tasks[1].mode == "adaptive"
+        assert tasks[4].benchmark == "b"
+
+    def test_params_grid(self):
+        tasks = expand_grid(params=[{"fault_rate": 0.1}, {"fault_rate": 0.2}], seed=5)
+        assert [t.param("fault_rate") for t in tasks] == [0.1, 0.2]
+        assert tasks[0].benchmark is None
+
+    def test_seeds_deterministic_and_distinct(self):
+        a = expand_grid(voltages=(0.5, 0.4, 0.3), seed=7)
+        b = expand_grid(voltages=(0.5, 0.4, 0.3), seed=7)
+        c = expand_grid(voltages=(0.5, 0.4, 0.3), seed=8)
+        assert [t.seed for t in a] == [t.seed for t in b]
+        assert len({t.seed for t in a}) == 3
+        assert [t.seed for t in a] != [t.seed for t in c]
+
+    def test_empty_grid(self):
+        assert expand_grid(params=[]) == []
+
+    def test_with_params_merges(self):
+        task = SweepTask(index=0, seed=1, params=(("x", 1),))
+        merged = task.with_params(y=2)
+        assert merged.param("x") == 1 and merged.param("y") == 2
+        assert task.param("y", "missing") == "missing"
+
+
+class TestSweepRunner:
+    def test_serial_matches_parallel(self):
+        tasks = expand_grid(params=[{"value": v} for v in range(6)], seed=3)
+        shared = {"offset": 10}
+        serial = SweepRunner(workers=1).map(_square_worker, tasks, shared=shared)
+        parallel = SweepRunner(workers=3).map(_square_worker, tasks, shared=shared)
+        assert serial == parallel
+        assert [r["value"] for r in serial] == [v**2 + 10 for v in range(6)]
+
+    def test_parallel_false_forces_serial(self):
+        runner = SweepRunner(workers=8, parallel=False)
+        assert runner.effective_workers(100) == 1
+
+    def test_single_task_runs_in_process(self):
+        runner = SweepRunner(workers=8)
+        assert runner.effective_workers(1) == 1
+
+    def test_tasks_run_counter(self):
+        runner = SweepRunner(workers=1)
+        runner.map(_square_worker, expand_grid(params=[{"value": 1}]), {"offset": 0})
+        runner.map(_square_worker, expand_grid(params=[{"value": 2}]), {"offset": 0})
+        assert runner.tasks_run == 2
+
+    def test_empty_task_list(self):
+        assert SweepRunner().map(_square_worker, [], shared=None) == []
+
+
+class TestArtifactCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        key = {"benchmark": "mnist", "seed": 1}
+        assert cache.get("prepared-benchmark", key) is None
+        cache.put("prepared-benchmark", key, {"payload": 42})
+        assert cache.get("prepared-benchmark", key) == {"payload": 42}
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_get_or_create_runs_factory_once(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return "artifact"
+
+        assert cache.get_or_create("kind", {"k": 1}, factory) == "artifact"
+        assert cache.get_or_create("kind", {"k": 1}, factory) == "artifact"
+        assert len(calls) == 1
+
+    def test_persistence_across_instances(self, tmp_path):
+        ArtifactCache(root=tmp_path).put("kind", {"k": 1}, [1, 2, 3])
+        fresh = ArtifactCache(root=tmp_path)
+        assert fresh.get("kind", {"k": 1}) == [1, 2, 3]
+
+    def test_disabled_cache_never_hits(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=False)
+        cache.put("kind", {"k": 1}, "value")
+        assert cache.get("kind", {"k": 1}) is None
+        assert not list(tmp_path.rglob("*.pkl"))
+
+    def test_array_content_addressing(self):
+        base = {"weights": np.arange(10.0), "seed": 1}
+        same = {"weights": np.arange(10.0), "seed": 1}
+        different = {"weights": np.arange(10.0) + 1e-12, "seed": 1}
+        assert cache_digest(base) == cache_digest(same)
+        assert cache_digest(base) != cache_digest(different)
+
+    def test_key_order_is_canonical(self):
+        assert cache_digest({"a": 1, "b": 2}) == cache_digest({"b": 2, "a": 1})
+
+    def test_encoding_is_length_delimited(self):
+        """Regression: adjacent variable-length components must not re-split
+        into a colliding key."""
+        assert cache_digest({"k": ["xstr:y"]}) != cache_digest({"k": ["x", "y"]})
+        assert cache_digest({"k": ["ab", "c"]}) != cache_digest({"k": ["a", "bc"]})
+        assert cache_digest({"k": [["a"], []]}) != cache_digest({"k": [[], ["a"]]})
+        assert cache_digest({"k": "int:1"}) != cache_digest({"k": 1})
+
+    def test_distinct_kinds_do_not_collide(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        cache.put("kind-a", {"k": 1}, "a")
+        cache.put("kind-b", {"k": 1}, "b")
+        assert cache.get("kind-a", {"k": 1}) == "a"
+        assert cache.get("kind-b", {"k": 1}) == "b"
+
+    def test_unhashable_key_component_rejected(self):
+        with pytest.raises(TypeError):
+            cache_digest({"bad": object()})
+
+    def test_nested_keys_and_scalars(self):
+        key = {
+            "nested": {"list": [1, 2.5, "s", None], "flag": True},
+            "tuple": (np.float64(1.0), np.int32(2)),
+        }
+        assert cache_digest(key) == cache_digest(key)
+
+    def test_pickled_cache_drops_memory_layer(self, tmp_path):
+        import pickle
+
+        cache = ArtifactCache(root=tmp_path)
+        cache.put("kind", {"k": 1}, "value")
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone._memory == {}
+        # but the disk layer is shared, so the clone still hits
+        assert clone.get("kind", {"k": 1}) == "value"
+
+
+class TestDriverEquivalence:
+    """Parallel and serial sweeps must produce identical tables."""
+
+    def test_fig9a_parallel_matches_serial(self):
+        voltages = np.array([0.44, 0.50, 0.54])
+        serial = run_fig9a(voltages=voltages, num_words=128, runner=SweepRunner(workers=1))
+        parallel = run_fig9a(voltages=voltages, num_words=128, runner=SweepRunner(workers=2))
+        for a, b in zip(serial.points, parallel.points):
+            assert (a.voltage, a.measured_rate, a.predicted_rate, a.word_rate) == (
+                b.voltage,
+                b.measured_rate,
+                b.predicted_rate,
+                b.word_rate,
+            )
+
+    def test_fig5_cold_and_warm_cache_identical(self, tmp_path):
+        # serial runner: cache stats are per-process, so the stores/hits
+        # assertions are only meaningful when the tasks run in this process
+        kwargs = dict(
+            fault_rates=(0.01, 0.05),
+            num_samples=400,
+            adaptive_epochs=4,
+            seed=2,
+            runner=SweepRunner(workers=1),
+        )
+        cache = ArtifactCache(root=tmp_path)
+        cold = run_fig5(cache=cache, **kwargs)
+        stores_after_cold = cache.stats.stores
+        warm = run_fig5(cache=cache, **kwargs)
+        assert cache.stats.stores == stores_after_cold  # nothing retrained
+        assert cache.stats.hits > 0
+        for a, b in zip(cold.points, warm.points):
+            assert (a.fault_rate, a.naive_error, a.adaptive_error) == (
+                b.fault_rate,
+                b.naive_error,
+                b.adaptive_error,
+            )
+
+    def test_fig5_cache_disabled_matches_cached(self, tmp_path):
+        kwargs = dict(
+            fault_rates=(0.02,), num_samples=400, adaptive_epochs=3, seed=4
+        )
+        cached = run_fig5(cache=ArtifactCache(root=tmp_path), **kwargs)
+        uncached = run_fig5(cache=ArtifactCache(root=tmp_path / "x", enabled=False), **kwargs)
+        for a, b in zip(cached.points, uncached.points):
+            assert (a.naive_error, a.adaptive_error) == (b.naive_error, b.adaptive_error)
+
+    def test_fig5_warm_hit_restores_masked_view(self, tmp_path):
+        """Regression: a cache hit must reinstall the quantized+masked
+        effective view the trainer leaves behind, not just master weights.
+        Uses an MSE benchmark so even a tiny prediction drift is caught."""
+        kwargs = dict(
+            benchmark="inversek2j",
+            fault_rates=(0.05,),
+            num_samples=300,
+            adaptive_epochs=3,
+            seed=6,
+            runner=SweepRunner(workers=1),
+        )
+        cache = ArtifactCache(root=tmp_path)
+        cold = run_fig5(cache=cache, **kwargs)
+        assert cache.stats.stores > 0
+        warm = run_fig5(cache=cache, **kwargs)
+        assert warm.points[0].adaptive_error == cold.points[0].adaptive_error
+        assert warm.points[0].naive_error == cold.points[0].naive_error
+
+    def test_fig10_parallel_matches_serial(self, tmp_path):
+        kwargs = dict(
+            benchmarks=("inversek2j",),
+            voltages=(0.90, 0.50),
+            num_samples=300,
+            adaptive_epochs=4,
+            seed=5,
+        )
+        serial = run_fig10(
+            runner=SweepRunner(workers=1), cache=ArtifactCache(root=tmp_path / "a"), **kwargs
+        )
+        parallel = run_fig10(
+            runner=SweepRunner(workers=2), cache=ArtifactCache(root=tmp_path / "b"), **kwargs
+        )
+        for a, b in zip(
+            serial.sweep_for("inversek2j").points, parallel.sweep_for("inversek2j").points
+        ):
+            assert (a.voltage, a.bit_fault_rate, a.naive_error, a.adaptive_error) == (
+                b.voltage,
+                b.bit_fault_rate,
+                b.naive_error,
+                b.adaptive_error,
+            )

@@ -118,6 +118,67 @@ class TestBitPacking:
         np.testing.assert_allclose(decoded, values, atol=fmt.scale / 2)
 
 
+class TestWideFormats:
+    """Regression tests for formats wider than float64's 53-bit mantissa.
+
+    Clipping in the float domain silently corrupted codes at 64 bits:
+    ``float(max_code)`` rounds up to ``2**63``, and casting that back to
+    int64 overflows to the *minimum* code.
+    """
+
+    def test_64bit_saturation_is_exact(self):
+        fmt = FixedPointFormat(total_bits=64, frac_bits=0)
+        codes = fmt.quantize_to_code(np.array([1e30, -1e30]))
+        assert codes.dtype == np.int64
+        assert codes[0] == fmt.max_code == 2**63 - 1
+        assert codes[1] == fmt.min_code == -(2**63)
+
+    def test_64bit_in_range_values_unclipped(self):
+        fmt = FixedPointFormat(total_bits=64, frac_bits=0)
+        # the largest float64 below 2**63 is exactly representable in int64
+        below = float(np.nextafter(2.0**63, 0.0))
+        codes = fmt.quantize_to_code(np.array([below, -below, 12345.0]))
+        assert codes[0] == int(below)
+        assert codes[1] == -int(below)
+        assert codes[2] == 12345
+
+    def test_64bit_word_roundtrip(self):
+        fmt = FixedPointFormat(total_bits=64, frac_bits=0)
+        codes = np.array([fmt.min_code, -1, 0, 1, fmt.max_code], dtype=np.int64)
+        words = fmt.code_to_word(codes)
+        assert words.dtype == np.uint64
+        assert int(words[0]) == 2**63
+        assert int(words[1]) == 2**64 - 1
+        np.testing.assert_array_equal(fmt.word_to_code(words), codes)
+
+    def test_64bit_bit_packing_roundtrip(self):
+        fmt = FixedPointFormat(total_bits=64, frac_bits=0)
+        words = np.array([0, 1, 2**63, 2**64 - 1], dtype=np.uint64)
+        bits = fmt.word_to_bits(words)
+        assert bits.shape == (4, 64)
+        np.testing.assert_array_equal(fmt.bits_to_word(bits), words)
+
+    @pytest.mark.parametrize("total_bits", [54, 60, 63, 64])
+    def test_wide_saturation_never_wraps(self, total_bits):
+        fmt = FixedPointFormat(total_bits=total_bits, frac_bits=0)
+        huge = np.array([1e300, -1e300, float(2**total_bits)])
+        codes = fmt.quantize_to_code(huge)
+        assert codes[0] == fmt.max_code
+        assert codes[1] == fmt.min_code
+        assert codes[2] == fmt.max_code
+
+    def test_narrow_formats_unchanged(self):
+        fmt = FixedPointFormat(16, 12)
+        values = np.array([-10.0, -1.0, -0.25, 0.0, 0.25, 1.0, 10.0])
+        codes = fmt.quantize_to_code(values)
+        expected = np.clip(
+            np.sign(values / fmt.scale) * np.floor(np.abs(values / fmt.scale) + 0.5),
+            fmt.min_code,
+            fmt.max_code,
+        ).astype(np.int64)
+        np.testing.assert_array_equal(codes, expected)
+
+
 class TestHypothesisProperties:
     @settings(max_examples=100, deadline=None)
     @given(

@@ -160,6 +160,75 @@ class TestReadDisturbBehaviour:
         np.testing.assert_array_equal(first, higher)
 
 
+class TestRailBoundary:
+    """A cell whose V_min,read equals the rail exactly must be safe in every
+    path: read, fault_map_at, and marginal_cells must agree on it."""
+
+    VOLTAGE = 0.5
+
+    @pytest.fixture()
+    def boundary_bank(self):
+        bank = SramBank(16, 8, seed=3)
+        # pin one cell exactly at the rail, its neighbours clearly around it
+        bank.cells.vmin_read[:] = 0.30
+        bank.cells.vmin_read[4, 2] = self.VOLTAGE
+        bank.cells.vmin_read[4, 3] = self.VOLTAGE + 0.01
+        bank.cells.preferred_state[:] = 1
+        return bank
+
+    def test_read_at_rail_is_safe(self, boundary_bank):
+        boundary_bank.write_all(np.zeros(16, dtype=np.uint64))
+        words = boundary_bank.read_all(voltage=self.VOLTAGE)
+        # bit (4, 2) at the rail survives; bit (4, 3) above it flips to 1
+        assert (int(words[4]) >> 2) & 1 == 0
+        assert (int(words[4]) >> 3) & 1 == 1
+
+    def test_fault_map_excludes_rail_cell(self, boundary_bank):
+        fault_map = boundary_bank.fault_map_at(self.VOLTAGE)
+        positions = {(f.address, f.bit) for f in fault_map.faults}
+        assert (4, 2) not in positions
+        assert (4, 3) in positions
+
+    def test_marginal_cells_include_rail_cell_first(self, boundary_bank):
+        marginal = boundary_bank.marginal_cells(self.VOLTAGE, count=3)
+        assert (marginal[0].address, marginal[0].bit) == (4, 2)
+
+    def test_all_paths_agree(self, boundary_bank):
+        """The rail cell is safe everywhere, never disturbed in one path and
+        safe in another."""
+        fault_positions = {
+            (f.address, f.bit) for f in boundary_bank.fault_map_at(self.VOLTAGE).faults
+        }
+        boundary_bank.write_all(np.zeros(16, dtype=np.uint64))
+        boundary_bank.read_all(voltage=self.VOLTAGE)
+        disturbed = {
+            (int(a), int(b)) for a, b in zip(*np.nonzero(boundary_bank.data_bits))
+        }
+        assert disturbed == fault_positions
+        marginal_positions = {
+            (f.address, f.bit)
+            for f in boundary_bank.marginal_cells(self.VOLTAGE, count=16 * 8)
+        }
+        assert not (marginal_positions & fault_positions)
+        assert (4, 2) in marginal_positions
+
+
+class TestMarginalCellTieBreak:
+    def test_ties_resolved_by_address_then_bit(self):
+        bank = SramBank(8, 4, seed=0)
+        bank.cells.vmin_read[:] = 0.48  # every cell tied at the same margin
+        marginal = bank.marginal_cells(0.50, count=6)
+        positions = [(f.address, f.bit) for f in marginal]
+        assert positions == [(0, 0), (0, 1), (0, 2), (0, 3), (1, 0), (1, 1)]
+
+    def test_selection_is_reproducible(self):
+        bank_a = SramBank(32, 8, seed=11)
+        bank_b = SramBank(32, 8, seed=11)
+        sel_a = [(f.address, f.bit) for f in bank_a.marginal_cells(0.5, count=8)]
+        sel_b = [(f.address, f.bit) for f in bank_b.marginal_cells(0.5, count=8)]
+        assert sel_a == sel_b
+
+
 class TestWeightMemorySystem:
     def test_build(self):
         memory = WeightMemorySystem.build(8, 128, 16, seed=0)
