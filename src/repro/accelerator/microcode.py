@@ -195,21 +195,41 @@ class WeightPlacement:
             )
         full = np.uint64((1 << word_bits) - 1)
         layer = self.layers[layer_index]
-        weight_and = np.full((layer.in_features, layer.out_features), full, dtype=np.uint64)
-        weight_or = np.zeros((layer.in_features, layer.out_features), dtype=np.uint64)
+
+        # One gather resolves every neuron at once: stack the per-bank mask
+        # arrays into a (num_banks, max_words) matrix (identity-padded where a
+        # bank is shorter) and index it with the per-neuron (pe, address)
+        # coordinates of the placement.
+        pes = np.array([p.pe for p in layer.neurons], dtype=np.intp)
+        bases = np.array([p.base_address for p in layer.neurons], dtype=np.intp)
+        neurons = np.array([p.neuron for p in layer.neurons], dtype=np.intp)
+        words_per_bank = np.array([fault_map.num_words for fault_map in fault_maps])
+        needed = bases + layer.in_features + 1
+        if pes.size and np.any(needed > words_per_bank[pes]):
+            worst = int(np.argmax(needed - words_per_bank[pes]))
+            raise IndexError(
+                f"placement needs {int(needed[worst])} words in bank {int(pes[worst])}, "
+                f"fault map covers {int(words_per_bank[pes[worst]])}"
+            )
+        max_words = max(fault_map.num_words for fault_map in fault_maps)
+        bank_and = np.full((len(fault_maps), max_words), full, dtype=np.uint64)
+        bank_or = np.zeros((len(fault_maps), max_words), dtype=np.uint64)
+        for index, fault_map in enumerate(fault_maps):
+            and_masks, or_masks = fault_map.mask_views()
+            bank_and[index, : fault_map.num_words] = and_masks & full
+            bank_or[index, : fault_map.num_words] = or_masks & full
+
+        # scatter through the neuron index rather than list position, so the
+        # result does not depend on the ordering of layer.neurons
         bias_and = np.full(layer.out_features, full, dtype=np.uint64)
         bias_or = np.zeros(layer.out_features, dtype=np.uint64)
-
-        bank_masks = [fault_map.masks() for fault_map in fault_maps]
-        for placement in layer.neurons:
-            and_masks, or_masks = bank_masks[placement.pe]
-            bias_and[placement.neuron] = and_masks[placement.bias_address] & full
-            bias_or[placement.neuron] = or_masks[placement.bias_address] & full
-            addresses = np.arange(
-                placement.base_address + 1, placement.base_address + 1 + placement.fan_in
-            )
-            weight_and[:, placement.neuron] = and_masks[addresses] & full
-            weight_or[:, placement.neuron] = or_masks[addresses] & full
+        bias_and[neurons] = bank_and[pes, bases]
+        bias_or[neurons] = bank_or[pes, bases]
+        addresses = bases[None, :] + np.arange(1, layer.in_features + 1)[:, None]
+        weight_and = np.full((layer.in_features, layer.out_features), full, dtype=np.uint64)
+        weight_or = np.zeros((layer.in_features, layer.out_features), dtype=np.uint64)
+        weight_and[:, neurons] = bank_and[pes[None, :], addresses]
+        weight_or[:, neurons] = bank_or[pes[None, :], addresses]
         return weight_and, weight_or, bias_and, bias_or
 
 

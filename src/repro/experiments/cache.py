@@ -31,14 +31,27 @@ parallel sweep workers of :mod:`repro.experiments.engine` never exposes a
 partially written artifact; concurrent writers of the same digest are
 idempotent.  A small in-process memory layer fronts the disk so repeated
 hits inside one session skip the unpickling.
+
+Maintenance
+-----------
+:meth:`ArtifactCache.disk_stats` reports per-kind entry counts and byte
+sizes, :meth:`ArtifactCache.clear` empties the store, and
+:meth:`ArtifactCache.prune` evicts artifacts by age.  The same operations
+are exposed on the command line::
+
+    python -m repro.experiments.cache stats
+    python -m repro.experiments.cache clear
+    python -m repro.experiments.cache prune --older-than 7d
 """
 
 from __future__ import annotations
 
 import hashlib
+import math
 import os
 import pickle
 import tempfile
+import time
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -46,7 +59,15 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["ArtifactCache", "CacheStats", "cache_digest", "default_cache", "set_default_cache"]
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "cache_digest",
+    "default_cache",
+    "set_default_cache",
+    "parse_age",
+    "main",
+]
 
 #: Bump when a cached computation changes semantically (training update rule,
 #: quantization rounding, dataset generators, ...) so old artifacts miss.
@@ -174,6 +195,10 @@ class ArtifactCache:
             # crash every caller until the cache dir is deleted by hand
             self.stats.misses += 1
             return None
+        try:
+            os.utime(path)  # refresh mtime so age-based prune spares hot artifacts
+        except OSError:
+            pass
         self._remember(memory_key, value)
         self.stats.hits += 1
         return value
@@ -221,6 +246,119 @@ class ArtifactCache:
         """Drop the in-process layer (disk artifacts stay)."""
         self._memory.clear()
 
+    # -------------------------------------------------------- maintenance
+
+    def _artifact_files(self, kind: str | None = None, pattern: str = "*.pkl"):
+        """Yield ``(kind, Path)`` for every stored artifact.
+
+        ``pattern="*.tmp"`` instead selects orphaned temp files left behind by
+        writers killed mid-:meth:`put`; maintenance must see those too or the
+        space they hold could never be reclaimed.
+
+        ``kind`` must be a bare directory name: anything containing a path
+        separator (or ``..``) would escape the cache root and let maintenance
+        delete files it does not own.
+        """
+        if kind is not None and (
+            kind in ("", ".", "..") or "/" in kind or os.sep in kind or os.path.isabs(kind)
+        ):
+            raise ValueError(f"invalid artifact kind {kind!r}")
+        root = Path(self.root)
+        if not root.is_dir():
+            return
+        kinds = [kind] if kind is not None else sorted(
+            entry.name for entry in root.iterdir() if entry.is_dir()
+        )
+        for kind_name in kinds:
+            kind_dir = root / kind_name
+            if not kind_dir.is_dir():
+                continue
+            for path in sorted(kind_dir.glob(pattern)):
+                yield kind_name, path
+
+    def disk_stats(self) -> dict[str, Any]:
+        """Size accounting: per-kind and total entry counts and bytes.
+
+        Orphaned ``.tmp`` files (writers killed mid-store) are reported under
+        ``temp_files`` so the totals match what the directory really holds.
+        """
+        kinds: dict[str, dict[str, int]] = {}
+        total_entries = 0
+        total_bytes = 0
+        for kind, path in self._artifact_files():
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            entry = kinds.setdefault(kind, {"entries": 0, "bytes": 0})
+            entry["entries"] += 1
+            entry["bytes"] += size
+            total_entries += 1
+            total_bytes += size
+        temp_entries = 0
+        temp_bytes = 0
+        for _, path in self._artifact_files(pattern="*.tmp"):
+            try:
+                temp_bytes += path.stat().st_size
+            except OSError:
+                continue
+            temp_entries += 1
+        return {
+            "root": str(self.root),
+            "kinds": kinds,
+            "temp_files": {"entries": temp_entries, "bytes": temp_bytes},
+            "total_entries": total_entries + temp_entries,
+            "total_bytes": total_bytes + temp_bytes,
+        }
+
+    def _remove_files(self, files, cutoff: float | None) -> tuple[int, int]:
+        removed = 0
+        freed = 0
+        for kind, path in files:
+            try:
+                stat = path.stat()
+                if cutoff is not None and stat.st_mtime >= cutoff:
+                    continue
+                path.unlink()
+            except OSError:
+                continue
+            # evict exactly the deleted artifact from the in-process layer
+            # (a no-op for .tmp files, whose names are not memory keys)
+            self._memory.pop(f"{kind}/{path.stem}", None)
+            removed += 1
+            freed += stat.st_size
+        return removed, freed
+
+    def clear(self, kind: str | None = None) -> tuple[int, int]:
+        """Delete stored artifacts (all kinds, or one); returns (entries, bytes).
+
+        Orphaned ``.tmp`` files are deleted too (a concurrent writer whose
+        temp file is swept simply degrades to a skipped store).
+        """
+        removed, freed = self._remove_files(self._artifact_files(kind), cutoff=None)
+        tmp_removed, tmp_freed = self._remove_files(
+            self._artifact_files(kind, pattern="*.tmp"), cutoff=None
+        )
+        return removed + tmp_removed, freed + tmp_freed
+
+    def prune(self, older_than_seconds: float, kind: str | None = None) -> tuple[int, int]:
+        """Evict artifacts not modified within the window; returns (entries, bytes).
+
+        Age is judged by file mtime, which is refreshed on every store and on
+        every *disk* hit (hits served from the in-process memory layer do not
+        touch the file, so a long-lived process refreshes each artifact once).
+        Orphaned ``.tmp`` files past the cutoff are swept as well (in-flight
+        writers are protected by their recent mtime).
+        """
+        if not math.isfinite(older_than_seconds) or older_than_seconds < 0:
+            raise ValueError("older_than_seconds must be a non-negative finite number")
+        cutoff = time.time() - float(older_than_seconds)
+        removed, freed = self._remove_files(self._artifact_files(kind), cutoff)
+        tmp_removed, tmp_freed = self._remove_files(
+            self._artifact_files(kind, pattern="*.tmp"), cutoff
+        )
+        return removed + tmp_removed, freed + tmp_freed
+
     def __getstate__(self) -> dict:
         # keep pickles small when a cache rides inside a worker payload: the
         # in-process layer is a per-process optimization, not shared state
@@ -246,3 +384,98 @@ def set_default_cache(cache: ArtifactCache | None) -> None:
     """Replace the process-wide default cache (None resets to lazy init)."""
     global _DEFAULT_CACHE
     _DEFAULT_CACHE = cache
+
+
+# --------------------------------------------------------------------- CLI
+
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+
+
+def parse_age(text: str) -> float:
+    """Parse an age like ``"3600"``, ``"45s"``, ``"12h"``, or ``"7d"`` to seconds."""
+    text = str(text).strip().lower()
+    if not text:
+        raise ValueError("empty age")
+    unit = 1.0
+    if text[-1] in _AGE_UNITS:
+        unit = _AGE_UNITS[text[-1]]
+        text = text[:-1]
+    seconds = float(text) * unit
+    if not math.isfinite(seconds) or seconds < 0:
+        raise ValueError("age must be a non-negative finite number")
+    return seconds
+
+
+def _format_bytes(count: int) -> str:
+    size = float(count)
+    for suffix in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024.0 or suffix == "GiB":
+            return f"{size:.1f} {suffix}" if suffix != "B" else f"{int(size)} B"
+        size /= 1024.0
+    return f"{int(count)} B"  # pragma: no cover - unreachable
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.experiments.cache`` — inspect and maintain the cache."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.cache",
+        description="Inspect and maintain the content-addressed artifact cache.",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-matic)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("stats", help="report per-kind entry counts and bytes")
+    clear_parser = commands.add_parser("clear", help="delete stored artifacts")
+    clear_parser.add_argument("--kind", default=None, help="only this artifact kind")
+    prune_parser = commands.add_parser("prune", help="evict artifacts by age")
+    prune_parser.add_argument(
+        "--older-than",
+        required=True,
+        metavar="AGE",
+        help="evict artifacts older than AGE (e.g. 3600, 45s, 12h, 7d)",
+    )
+    prune_parser.add_argument("--kind", default=None, help="only this artifact kind")
+    args = parser.parse_args(argv)
+
+    cache = ArtifactCache(root=args.root)
+    if args.command == "stats":
+        stats = cache.disk_stats()
+        print(f"cache root: {stats['root']}")
+        for kind, entry in stats["kinds"].items():
+            print(f"  {kind}: {entry['entries']} entries, {_format_bytes(entry['bytes'])}")
+        temp = stats["temp_files"]
+        if temp["entries"]:
+            print(
+                f"  (orphaned temp files: {temp['entries']} entries, "
+                f"{_format_bytes(temp['bytes'])})"
+            )
+        print(
+            f"total: {stats['total_entries']} entries, "
+            f"{_format_bytes(stats['total_bytes'])}"
+        )
+    elif args.command == "clear":
+        try:
+            removed, freed = cache.clear(kind=args.kind)
+        except ValueError as error:
+            parser.error(str(error))
+        print(f"removed {removed} entries, freed {_format_bytes(freed)}")
+    else:
+        try:
+            age = parse_age(args.older_than)
+        except ValueError as error:
+            parser.error(f"invalid --older-than value: {error}")
+        try:
+            removed, freed = cache.prune(age, kind=args.kind)
+        except ValueError as error:
+            parser.error(str(error))
+        print(f"pruned {removed} entries, freed {_format_bytes(freed)}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    raise SystemExit(main())

@@ -113,7 +113,9 @@ class MaticFlow:
         memory-adaptive fine-tuning results are memoized on the *content* of
         the run — initial weights, injection masks, training data, and every
         hyper-parameter — so repeated deployments across a sweep grid train
-        each distinct combination once.
+        each distinct combination once.  The same cache also memoizes
+        :meth:`profile_chip`'s per-bank fault maps (see that method for the
+        key and the soundness caveat).
     """
 
     def __init__(
@@ -170,16 +172,73 @@ class MaticFlow:
         )
         return trainer.fit(train, validation=validation)
 
+    @staticmethod
+    def _profile_cache_key(
+        bank, voltage: float, temperature: float, profiler: SramProfiler
+    ) -> dict:
+        """Content key addressing one bank's profiled fault map.
+
+        The profiled map is a deterministic function of the bank's sampled
+        bit-cell population (``vmin_read`` + ``preferred_state``, which fold
+        in the chip seed, the variation model, and the bank geometry), its
+        temperature coefficient, the operating point, and the profiler's
+        measurement procedure (:meth:`~repro.sram.profiler.SramProfiler.describe`:
+        class, test patterns, restore flag, plus whatever subclasses add) —
+        so the key hashes exactly those.  Hashing the sampled population
+        *content* rather than the (seed, model) pair that produced it keeps
+        the key sound even for hand-constructed or mutated banks.
+        """
+        return {
+            "vmin_read": bank.cells.vmin_read,
+            "preferred_state": bank.cells.preferred_state,
+            "temperature_coefficient": float(bank.temperature_coefficient),
+            "word_bits": int(bank.word_bits),
+            "voltage": float(voltage),
+            "temperature": float(temperature),
+            "patterns": profiler._patterns_for(bank),
+            "profiler": profiler.describe(),
+        }
+
     def profile_chip(
         self,
         chip: Snnac,
         voltage: float,
         temperature: float = calibration.NOMINAL_TEMPERATURE,
+        profiler: SramProfiler | None = None,
     ) -> list[FaultMap]:
-        """Profile every weight bank of ``chip`` at the target voltage."""
-        profiler = SramProfiler()
-        reports = profiler.profile_memory_system(chip.memory, voltage, temperature)
-        return [report.fault_map for report in reports]
+        """Profile every weight bank of ``chip`` at the target voltage.
+
+        When a ``training_cache`` is attached, each bank's fault map is
+        memoized through it (kind ``"fault-map"``, keyed per
+        :meth:`_profile_cache_key`), so re-profiling the same deterministic
+        (chip, voltage, temperature) point across driver runs is a cache hit
+        that returns bit-identical maps without touching the bank.
+
+        Soundness caveat: profiling overwrites bank contents with test
+        patterns, and the measurement is only side-effect-free because
+        ``restore_contents=True`` (the default) rewrites the saved contents
+        afterwards.  A cache hit skips the whole procedure, which is
+        equivalent *only* under that flag — passing a custom ``profiler``
+        with ``restore_contents=False`` therefore bypasses memoization and
+        always profiles for real.
+        """
+        profiler = profiler if profiler is not None else SramProfiler()
+        cache = self.training_cache
+        if cache is None or not profiler.restore_contents:
+            reports = profiler.profile_memory_system(chip.memory, voltage, temperature)
+            return [report.fault_map for report in reports]
+        fault_maps: list[FaultMap] = []
+        for bank in chip.memory:
+            key = self._profile_cache_key(bank, voltage, temperature, profiler)
+            cached = cache.get("fault-map", key)
+            if cached is not None:
+                stuck_mask, stuck_values = cached
+                fault_maps.append(FaultMap.from_arrays(stuck_mask, stuck_values))
+                continue
+            fault_map = profiler.profile_bank(bank, voltage, temperature).fault_map
+            cache.put("fault-map", key, (fault_map.stuck_mask, fault_map.stuck_values))
+            fault_maps.append(fault_map)
+        return fault_maps
 
     def build_mask_set(
         self,

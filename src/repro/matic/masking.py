@@ -23,6 +23,7 @@ import numpy as np
 from ..accelerator.microcode import WeightPlacement
 from ..nn.network import Network
 from ..quant.quantizer import LayerQuantization, WeightQuantizer
+from ..sram.bitops import pack_bits, popcount
 from ..sram.fault_map import FaultMap
 
 __all__ = ["LayerMasks", "FaultMaskSet", "apply_masks_to_values"]
@@ -69,8 +70,8 @@ class LayerMasks:
     def num_faulty_weight_bits(self) -> int:
         """Number of weight bits pinned by the masks."""
         full = np.uint64((1 << int(self.word_bits)) - 1)
-        cleared = _popcount(~self.weight_and & full)
-        setbits = _popcount(self.weight_or & full)
+        cleared = popcount(~self.weight_and & full)
+        setbits = popcount(self.weight_or & full)
         return int(cleared + setbits)
 
     @classmethod
@@ -84,15 +85,6 @@ class LayerMasks:
             bias_or=np.zeros(bias_shape, dtype=np.uint64),
             word_bits=word_bits,
         )
-
-
-def _popcount(a: np.ndarray) -> int:
-    total = 0
-    a = a.copy()
-    while np.any(a):
-        total += int(np.sum(a & np.uint64(1)))
-        a >>= np.uint64(1)
-    return total
 
 
 class FaultMaskSet:
@@ -236,15 +228,15 @@ def _random_masks(
     rng: np.random.Generator,
     full: np.uint64,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Random per-word AND/OR masks with the given bit-level fault rate."""
-    and_mask = np.full(shape, full, dtype=np.uint64)
-    or_mask = np.zeros(shape, dtype=np.uint64)
+    """Random per-word AND/OR masks with the given bit-level fault rate.
+
+    The RNG draws (two uniform matrices over ``shape + (word_bits,)``) match
+    the pre-vectorized implementation exactly, so masks for a given generator
+    state are bit-identical to the historical ones.
+    """
     stuck = rng.random(shape + (word_bits,)) < fault_rate
     stuck_one = rng.random(shape + (word_bits,)) < stuck_one_probability
-    for bit in range(word_bits):
-        bit_mask = np.uint64(1 << bit)
-        clear_here = stuck[..., bit] & ~stuck_one[..., bit]
-        set_here = stuck[..., bit] & stuck_one[..., bit]
-        and_mask[clear_here] &= np.uint64(full ^ bit_mask)
-        or_mask[set_here] |= bit_mask
+    cleared = pack_bits(stuck & ~stuck_one)
+    and_mask = np.full(shape, full, dtype=np.uint64) ^ cleared
+    or_mask = pack_bits(stuck & stuck_one)
     return and_mask, or_mask

@@ -9,6 +9,7 @@ from .bitcell import (
     EmpiricalVminModel,
     GaussianVminModel,
 )
+from .bitops import pack_bits, popcount, unpack_words
 from .fault_map import BitFault, FaultMap
 from .profiler import ProfileReport, SramProfiler
 from .regulator import VoltageRegulator
@@ -31,6 +32,9 @@ __all__ = [
     "EmpiricalVminModel",
     "BitFault",
     "FaultMap",
+    "pack_bits",
+    "popcount",
+    "unpack_words",
     "ProfileReport",
     "SramProfiler",
     "VoltageRegulator",

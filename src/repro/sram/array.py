@@ -20,6 +20,7 @@ import numpy as np
 
 from . import calibration
 from .bitcell import BitcellPopulation, BitcellVariationModel, EmpiricalVminModel
+from .bitops import pack_bits, unpack_words
 from .fault_map import BitFault, FaultMap
 
 __all__ = ["SramBank", "WeightMemorySystem"]
@@ -94,13 +95,10 @@ class SramBank:
         return addresses
 
     def _words_to_bits(self, words: np.ndarray) -> np.ndarray:
-        words = np.asarray(words, dtype=np.uint64)
-        shifts = np.arange(self.word_bits, dtype=np.uint64)
-        return ((words[..., None] >> shifts) & np.uint64(1)).astype(np.uint8)
+        return unpack_words(words, self.word_bits)
 
     def _bits_to_words(self, bits: np.ndarray) -> np.ndarray:
-        shifts = np.arange(self.word_bits, dtype=np.uint64)
-        return np.sum(bits.astype(np.uint64) << shifts, axis=-1).astype(np.uint64)
+        return pack_bits(bits)
 
     def effective_vmin(self, temperature: float) -> np.ndarray:
         """Per-cell V_min,read shifted to the given temperature."""

@@ -1,0 +1,43 @@
+"""Vectorized word↔bit-matrix conversions shared across the fault pipeline.
+
+Every subsystem that touches SRAM contents needs the same two conversions:
+expanding ``uint64`` words into a dense ``(..., word_bits)`` bit matrix (LSB
+at index 0) and packing such a matrix back into words.  The behavioural SRAM
+model, the profiler, the fault-map core, and the injection-mask builders all
+share these helpers so the bit layout is defined exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["unpack_words", "pack_bits", "popcount"]
+
+
+def unpack_words(words: np.ndarray, word_bits: int) -> np.ndarray:
+    """Expand words into a ``(..., word_bits)`` uint8 bit matrix (LSB first)."""
+    shifts = np.arange(word_bits, dtype=np.uint64)
+    words = np.asarray(words, dtype=np.uint64)
+    return ((words[..., None] >> shifts) & np.uint64(1)).astype(np.uint8)
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(..., word_bits)`` bit matrix into uint64 words (LSB first)."""
+    bits = np.asarray(bits)
+    word_bits = bits.shape[-1]
+    shifts = np.arange(word_bits, dtype=np.uint64)
+    return np.sum(bits.astype(np.uint64) << shifts, axis=-1, dtype=np.uint64)
+
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+
+    def popcount(a: np.ndarray) -> int:
+        """Total number of set bits across an unsigned integer array."""
+        return int(np.bitwise_count(np.asarray(a)).sum())
+
+else:  # pragma: no cover - exercised only on numpy < 2.0
+
+    def popcount(a: np.ndarray) -> int:
+        """Total number of set bits across an unsigned integer array."""
+        a = np.ascontiguousarray(np.asarray(a, dtype=np.uint64))
+        return int(np.unpackbits(a.view(np.uint8)).sum())

@@ -9,13 +9,25 @@ shared between:
   (Fig. 4 of the paper),
 * the SRAM array model, which uses it to corrupt reads, and
 * canary selection, which needs to know which cells are marginal.
+
+Representation
+--------------
+The map is array-native: its core state is a dense boolean *stuck* matrix of
+shape ``(num_words, word_bits)`` plus a matching *stuck-value* matrix, and the
+per-word ``uint64`` AND/OR injection masks are materialized lazily from those
+matrices (one vectorized bit-pack) and cached until the map is next mutated.
+:class:`BitFault` records and the list-returning queries are thin views built
+on demand; no per-fault Python state is kept.
 """
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 
 import numpy as np
+
+from .bitops import pack_bits
 
 __all__ = ["BitFault", "FaultMap"]
 
@@ -73,9 +85,17 @@ class FaultMap:
             raise ValueError("word_bits must be at most 64")
         self.num_words = int(num_words)
         self.word_bits = int(word_bits)
-        self._faults: dict[tuple[int, int], int] = {}
+        self._stuck = np.zeros((self.num_words, self.word_bits), dtype=bool)
+        self._values = np.zeros((self.num_words, self.word_bits), dtype=np.uint8)
+        self._invalidate()
         for fault in faults or []:
             self.add(fault)
+
+    def _invalidate(self) -> None:
+        """Drop every lazily materialized view after a mutation."""
+        self._masks_cache: tuple[np.ndarray, np.ndarray] | None = None
+        self._num_faults_cache: int | None = None
+        self._faulty_addresses_cache: np.ndarray | None = None
 
     # --------------------------------------------------------------- edit
 
@@ -89,30 +109,46 @@ class FaultMap:
             raise ValueError(
                 f"bit {fault.bit} out of range (word_bits={self.word_bits})"
             )
-        self._faults[(fault.address, fault.bit)] = fault.stuck_value
+        self._stuck[fault.address, fault.bit] = True
+        self._values[fault.address, fault.bit] = fault.stuck_value
+        self._invalidate()
 
     def merge(self, other: "FaultMap") -> "FaultMap":
         """Union of two fault maps over the same geometry (other wins ties)."""
         if (other.num_words, other.word_bits) != (self.num_words, self.word_bits):
             raise ValueError("fault maps cover different SRAM geometries")
-        merged = FaultMap(self.num_words, self.word_bits, self.faults)
-        for fault in other.faults:
-            merged.add(fault)
+        merged = FaultMap(self.num_words, self.word_bits)
+        merged._stuck = self._stuck | other._stuck
+        merged._values = np.where(other._stuck, other._values, self._values)
         return merged
 
     # ------------------------------------------------------------ queries
 
     @property
+    def stuck_mask(self) -> np.ndarray:
+        """Dense ``(num_words, word_bits)`` boolean matrix of stuck cells."""
+        return self._stuck.copy()
+
+    @property
+    def stuck_values(self) -> np.ndarray:
+        """Dense stuck-value matrix (entries of non-stuck cells are 0)."""
+        return np.where(self._stuck, self._values, 0).astype(np.uint8)
+
+    @property
     def faults(self) -> list[BitFault]:
         """All stuck bits, sorted by (address, bit)."""
+        addresses, bits = np.nonzero(self._stuck)  # row-major: (address, bit) order
+        values = self._values[addresses, bits]
         return [
-            BitFault(address, bit, value)
-            for (address, bit), value in sorted(self._faults.items())
+            BitFault(int(address), int(bit), int(value))
+            for address, bit, value in zip(addresses, bits, values)
         ]
 
     @property
     def num_faults(self) -> int:
-        return len(self._faults)
+        if self._num_faults_cache is None:
+            self._num_faults_cache = int(np.count_nonzero(self._stuck))
+        return self._num_faults_cache
 
     @property
     def fault_rate(self) -> float:
@@ -122,14 +158,33 @@ class FaultMap:
     @property
     def faulty_addresses(self) -> np.ndarray:
         """Sorted unique word addresses containing at least one stuck bit."""
-        return np.unique([address for address, _ in self._faults])
+        if self._faulty_addresses_cache is None:
+            self._faulty_addresses_cache = np.flatnonzero(self._stuck.any(axis=1))
+        return self._faulty_addresses_cache.copy()
 
     def faults_at(self, address: int) -> list[BitFault]:
-        """Stuck bits within one word."""
-        return [f for f in self.faults if f.address == address]
+        """Stuck bits within one word (O(word_bits), not O(num_faults))."""
+        if not 0 <= address < self.num_words:
+            return []
+        bits = np.flatnonzero(self._stuck[address])
+        return [
+            BitFault(int(address), int(bit), int(self._values[address, bit]))
+            for bit in bits
+        ]
 
     def __contains__(self, key: tuple[int, int]) -> bool:
-        return tuple(key) in self._faults
+        try:
+            address, bit = key
+            address = operator.index(address)  # ints only: 0.7 must not round to 0
+            bit = operator.index(bit)
+        except (TypeError, ValueError):
+            # malformed keys test False; intentionally stricter than the old
+            # dict core for floats ((0.0, 0) matched (0, 0) by hash-equality
+            # there) — a non-index key never answers True here
+            return False
+        if not (0 <= address < self.num_words and 0 <= bit < self.word_bits):
+            return False
+        return bool(self._stuck[address, bit])
 
     def __len__(self) -> int:
         return self.num_faults
@@ -140,7 +195,8 @@ class FaultMap:
         return (
             self.num_words == other.num_words
             and self.word_bits == other.word_bits
-            and self._faults == other._faults
+            and bool(np.array_equal(self._stuck, other._stuck))
+            and bool(np.all(self._values[self._stuck] == other._values[other._stuck]))
         )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
@@ -152,6 +208,22 @@ class FaultMap:
 
     # -------------------------------------------------------------- masks
 
+    def _mask_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The cached, read-only (and_mask, or_mask) pair."""
+        if self._masks_cache is None:
+            full = np.uint64((1 << self.word_bits) - 1)
+            clear_bits = pack_bits(self._stuck & (self._values == 0))
+            set_bits = pack_bits(self._stuck & (self._values != 0))
+            and_masks = np.full(self.num_words, full, dtype=np.uint64) ^ clear_bits
+            and_masks.flags.writeable = False
+            set_bits.flags.writeable = False
+            self._masks_cache = (and_masks, set_bits)
+        return self._masks_cache
+
+    def mask_views(self) -> tuple[np.ndarray, np.ndarray]:
+        """Read-only views of the cached masks — :meth:`masks` without the copy."""
+        return self._mask_arrays()
+
     def masks(self) -> tuple[np.ndarray, np.ndarray]:
         """Return per-word ``(and_mask, or_mask)`` arrays (uint64).
 
@@ -161,16 +233,12 @@ class FaultMap:
         * bits stuck at 0 are cleared by a 0 in the AND mask, and
         * bits stuck at 1 are set by a 1 in the OR mask,
 
-        exactly the injection-masking operation of Fig. 4.
+        exactly the injection-masking operation of Fig. 4.  The arrays are
+        materialized once per mutation and cached; each call hands back
+        fresh copies the caller may freely modify.
         """
-        and_masks = np.full(self.num_words, (1 << self.word_bits) - 1, dtype=np.uint64)
-        or_masks = np.zeros(self.num_words, dtype=np.uint64)
-        for (address, bit), value in self._faults.items():
-            if value == 0:
-                and_masks[address] &= np.uint64(~(1 << bit) & ((1 << self.word_bits) - 1))
-            else:
-                or_masks[address] |= np.uint64(1 << bit)
-        return and_masks, or_masks
+        and_masks, or_masks = self._mask_arrays()
+        return and_masks.copy(), or_masks.copy()
 
     def apply(self, words: np.ndarray) -> np.ndarray:
         """Corrupt an array of stored words according to the fault map.
@@ -183,7 +251,7 @@ class FaultMap:
             raise ValueError(
                 f"expected {self.num_words} words, got shape {words.shape}"
             )
-        and_masks, or_masks = self.masks()
+        and_masks, or_masks = self._mask_arrays()
         return (words & and_masks) | or_masks
 
     # ------------------------------------------------------- constructors
@@ -205,9 +273,12 @@ class FaultMap:
         if stuck_mask.ndim != 2 or stuck_mask.shape != stuck_values.shape:
             raise ValueError("stuck_mask and stuck_values must be equal 2-D shapes")
         num_words, word_bits = stuck_mask.shape
+        invalid = stuck_mask & (stuck_values != 0) & (stuck_values != 1)
+        if np.any(invalid):
+            raise ValueError("stuck_value must be 0 or 1")
         fault_map = cls(num_words, word_bits)
-        for address, bit in zip(*np.nonzero(stuck_mask)):
-            fault_map.add(BitFault(int(address), int(bit), int(stuck_values[address, bit])))
+        fault_map._stuck = stuck_mask.copy()
+        fault_map._values = np.where(stuck_mask, stuck_values, 0).astype(np.uint8)
         return fault_map
 
     @classmethod

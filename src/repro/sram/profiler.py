@@ -18,7 +18,8 @@ import numpy as np
 
 from . import calibration
 from .array import SramBank, WeightMemorySystem
-from .fault_map import BitFault, FaultMap
+from .bitops import unpack_words
+from .fault_map import FaultMap
 
 __all__ = ["ProfileReport", "SramProfiler"]
 
@@ -74,6 +75,22 @@ class SramProfiler:
             }
         return {"zeros": 0, "ones": bank.word_mask}
 
+    def describe(self) -> dict:
+        """Content description of the measurement procedure, for cache keys.
+
+        Subclasses that parameterize their procedure (extra read passes,
+        different recording rules, ...) MUST extend this with every attribute
+        that can change the profiled map, or differently-configured instances
+        will share memoized artifacts.
+        """
+        return {
+            "class": f"{type(self).__module__}.{type(self).__qualname__}",
+            "test_patterns": {
+                str(name): int(value) for name, value in self.test_patterns.items()
+            },
+            "restore_contents": bool(self.restore_contents),
+        }
+
     # ------------------------------------------------------------------
 
     def profile_bank(
@@ -87,7 +104,8 @@ class SramProfiler:
             raise ValueError("voltage must be positive")
         saved = bank.stored_words() if self.restore_contents else None
         addresses = np.arange(bank.num_words)
-        fault_map = FaultMap(bank.num_words, bank.word_bits)
+        stuck = np.zeros((bank.num_words, bank.word_bits), dtype=bool)
+        stuck_values = np.zeros((bank.num_words, bank.word_bits), dtype=np.uint8)
         raw_errors = 0
         rar_errors = 0
         pattern_errors: dict[str, int] = {}
@@ -111,13 +129,13 @@ class SramProfiler:
             # Record every erroneous bit with the polarity it reads as.  Using
             # the second read means only stable (trainable-around) failures
             # enter the map, matching the paper's observation that disturbed
-            # cells provide stable read outputs.
+            # cells provide stable read outputs.  Later patterns override
+            # earlier ones, matching the per-fault insertion order semantics.
             observed_bits = self._words_to_bits(second_read, bank.word_bits)
-            for address, bit in zip(*np.nonzero(second_diff)):
-                fault_map.add(
-                    BitFault(int(address), int(bit), int(observed_bits[address, bit]))
-                )
+            np.copyto(stuck_values, observed_bits, where=second_diff)
+            stuck |= second_diff
 
+        fault_map = FaultMap.from_arrays(stuck, stuck_values)
         if saved is not None:
             bank.write(addresses, saved)
 
@@ -158,10 +176,7 @@ class SramProfiler:
 
     @staticmethod
     def _words_to_bits(words: np.ndarray, word_bits: int) -> np.ndarray:
-        shifts = np.arange(word_bits, dtype=np.uint64)
-        return ((np.asarray(words, dtype=np.uint64)[..., None] >> shifts) & np.uint64(1)).astype(
-            np.uint8
-        )
+        return unpack_words(words, word_bits)
 
     @classmethod
     def _bit_errors(

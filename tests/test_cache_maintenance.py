@@ -1,0 +1,222 @@
+"""Size accounting, clear/prune, and the repro.experiments.cache CLI."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.cache import ArtifactCache, main, parse_age
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ArtifactCache(root=tmp_path / "cache")
+
+
+def populate(cache: ArtifactCache) -> None:
+    cache.put("trained-weights", {"run": 1}, [1, 2, 3])
+    cache.put("trained-weights", {"run": 2}, [4, 5, 6])
+    cache.put("fault-map", {"bank": 0}, {"stuck": True})
+
+
+class TestDiskStats:
+    def test_empty_cache(self, cache):
+        stats = cache.disk_stats()
+        assert stats["total_entries"] == 0
+        assert stats["total_bytes"] == 0
+        assert stats["kinds"] == {}
+
+    def test_counts_entries_and_bytes_per_kind(self, cache):
+        populate(cache)
+        stats = cache.disk_stats()
+        assert stats["kinds"]["trained-weights"]["entries"] == 2
+        assert stats["kinds"]["fault-map"]["entries"] == 1
+        assert stats["total_entries"] == 3
+        assert stats["total_bytes"] == sum(
+            entry["bytes"] for entry in stats["kinds"].values()
+        )
+        assert stats["total_bytes"] > 0
+
+    def test_idempotent_store_keeps_one_entry(self, cache):
+        cache.put("trained-weights", {"run": 1}, [1])
+        cache.put("trained-weights", {"run": 1}, [1])
+        assert cache.disk_stats()["total_entries"] == 1
+
+
+class TestClearAndPrune:
+    def test_clear_all(self, cache):
+        populate(cache)
+        removed, freed = cache.clear()
+        assert removed == 3
+        assert freed > 0
+        assert cache.disk_stats()["total_entries"] == 0
+        assert cache.get("trained-weights", {"run": 1}) is None
+
+    def test_clear_one_kind(self, cache):
+        populate(cache)
+        removed, _ = cache.clear(kind="fault-map")
+        assert removed == 1
+        assert cache.get("fault-map", {"bank": 0}) is None
+        assert cache.get("trained-weights", {"run": 1}) == [1, 2, 3]
+
+    def test_prune_by_age(self, cache):
+        populate(cache)
+        old = time.time() - 3600
+        target = cache._path("trained-weights", next(
+            path.stem for _, path in cache._artifact_files("trained-weights")
+        ))
+        os.utime(target, (old, old))
+        removed, freed = cache.prune(older_than_seconds=600)
+        assert removed == 1
+        assert freed > 0
+        assert cache.disk_stats()["total_entries"] == 2
+
+    def test_prune_keeps_recent(self, cache):
+        populate(cache)
+        removed, _ = cache.prune(older_than_seconds=3600)
+        assert removed == 0
+        assert cache.disk_stats()["total_entries"] == 3
+
+    @pytest.mark.parametrize("kind", ["..", "../../etc", "/tmp", "a/b", ""])
+    def test_kind_must_be_a_bare_name(self, cache, kind):
+        """A kind with path separators must never escape the cache root."""
+        populate(cache)
+        with pytest.raises(ValueError):
+            cache.clear(kind=kind)
+        with pytest.raises(ValueError):
+            cache.prune(older_than_seconds=0, kind=kind)
+        assert cache.disk_stats()["total_entries"] == 3
+
+    def test_kind_scoped_maintenance_keeps_other_kinds_in_memory(self, cache):
+        """Evicting one kind must not flush unrelated kinds from the
+        in-process layer."""
+        populate(cache)
+        cache.clear(kind="fault-map")
+        # delete the trained-weights files behind the memory layer's back:
+        # a memory hit is then the only way get() can still answer
+        for _, path in list(cache._artifact_files("trained-weights")):
+            path.unlink()
+        assert cache.get("trained-weights", {"run": 1}) == [1, 2, 3]
+        assert cache.get("fault-map", {"bank": 0}) is None  # evicted everywhere
+
+    def test_disk_hit_refreshes_mtime_protecting_from_prune(self, cache):
+        """An artifact recalled from disk counts as recently used."""
+        cache.put("trained-weights", {"run": 1}, [1])
+        for _, path in cache._artifact_files("trained-weights"):
+            old = time.time() - 7200
+            os.utime(path, (old, old))
+        reopened = ArtifactCache(root=cache.root)  # cold memory layer
+        assert reopened.get("trained-weights", {"run": 1}) == [1]
+        removed, _ = reopened.prune(older_than_seconds=3600)
+        assert removed == 0
+
+    def test_prune_rejects_negative_age(self, cache):
+        with pytest.raises(ValueError):
+            cache.prune(older_than_seconds=-1)
+
+    def test_prune_rejects_non_finite_age(self, cache):
+        """NaN must error, not compare False against every mtime and wipe
+        the whole store."""
+        populate(cache)
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                cache.prune(older_than_seconds=bad)
+        assert cache.disk_stats()["total_entries"] == 3
+
+
+class TestOrphanedTempFiles:
+    """Writers killed mid-put leave *.tmp files; maintenance must see them."""
+
+    @staticmethod
+    def orphan(cache, age_seconds=0.0):
+        kind_dir = cache.root / "trained-weights"
+        kind_dir.mkdir(parents=True, exist_ok=True)
+        path = kind_dir / "deadbeef.tmp"
+        path.write_bytes(b"x" * 100)
+        if age_seconds:
+            old = time.time() - age_seconds
+            os.utime(path, (old, old))
+        return path
+
+    def test_disk_stats_reports_temp_bytes(self, cache):
+        populate(cache)
+        self.orphan(cache)
+        stats = cache.disk_stats()
+        assert stats["temp_files"] == {"entries": 1, "bytes": 100}
+        # the totals reconcile: per-kind + temp files = totals
+        assert stats["total_entries"] == 4
+        assert stats["total_bytes"] == 100 + sum(
+            entry["bytes"] for entry in stats["kinds"].values()
+        )
+
+    def test_clear_sweeps_temp_files(self, cache):
+        populate(cache)
+        path = self.orphan(cache)
+        removed, _ = cache.clear()
+        assert removed == 4
+        assert not path.exists()
+
+    def test_prune_sweeps_old_temp_files_only(self, cache):
+        stale = self.orphan(cache, age_seconds=7200)
+        fresh = stale.with_name("inflight.tmp")
+        fresh.write_bytes(b"y" * 10)  # a writer still in flight
+        removed, freed = cache.prune(older_than_seconds=3600)
+        assert (removed, freed) == (1, 100)
+        assert not stale.exists() and fresh.exists()
+
+
+class TestParseAge:
+    @pytest.mark.parametrize(
+        "text, seconds",
+        [("3600", 3600.0), ("45s", 45.0), ("30m", 1800.0), ("12h", 43200.0),
+         ("7d", 604800.0), ("2w", 1209600.0), ("1.5h", 5400.0)],
+    )
+    def test_valid(self, text, seconds):
+        assert parse_age(text) == seconds
+
+    @pytest.mark.parametrize("text", ["", "abc", "-5s", "5y", "nan", "inf", "nand"])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_age(text)
+
+
+class TestCli:
+    def test_stats_command(self, cache, capsys):
+        populate(cache)
+        assert main(["--root", str(cache.root), "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "trained-weights: 2 entries" in out
+        assert "total: 3 entries" in out
+
+    def test_clear_command(self, cache, capsys):
+        populate(cache)
+        assert main(["--root", str(cache.root), "clear"]) == 0
+        assert "removed 3 entries" in capsys.readouterr().out
+        assert cache.disk_stats()["total_entries"] == 0
+
+    def test_prune_command(self, cache, capsys):
+        populate(cache)
+        for _, path in cache._artifact_files("fault-map"):
+            old = time.time() - 7200
+            os.utime(path, (old, old))
+        assert main(["--root", str(cache.root), "prune", "--older-than", "1h"]) == 0
+        assert "pruned 1 entries" in capsys.readouterr().out
+        assert cache.disk_stats()["total_entries"] == 2
+
+    def test_runs_as_module(self, cache):
+        import subprocess
+        import sys
+
+        populate(cache)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.cache",
+             "--root", str(cache.root), "stats"],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.join(os.path.dirname(__file__), ".."),
+        )
+        assert result.returncode == 0
+        assert "total: 3 entries" in result.stdout

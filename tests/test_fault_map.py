@@ -136,6 +136,176 @@ class TestFaultMap:
             FaultMap.random(8, 8, 1.5)
 
 
+class TestArrayBackedEquivalence:
+    """The array-backed FaultMap must be indistinguishable from the original
+    ``dict[(address, bit)] -> value`` implementation."""
+
+    @staticmethod
+    def _reference_masks(num_words, word_bits, fault_items):
+        """The pre-vectorization per-fault mask loop, verbatim."""
+        full = (1 << word_bits) - 1
+        and_masks = np.full(num_words, full, dtype=np.uint64)
+        or_masks = np.zeros(num_words, dtype=np.uint64)
+        for (address, bit), value in fault_items.items():
+            if value == 0:
+                and_masks[address] &= np.uint64(~(1 << bit) & full)
+            else:
+                or_masks[address] |= np.uint64(1 << bit)
+        return and_masks, or_masks
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        entries=st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 7), st.integers(0, 1)),
+            max_size=40,
+        ),
+    )
+    def test_add_matches_dict_semantics(self, entries):
+        fm = FaultMap(16, 8)
+        reference: dict[tuple[int, int], int] = {}
+        for address, bit, value in entries:
+            fm.add(BitFault(address, bit, value))
+            reference[(address, bit)] = value
+        assert fm.num_faults == len(reference)
+        assert len(fm) == len(reference)
+        assert [(f.address, f.bit, f.stuck_value) for f in fm.faults] == [
+            (a, b, v) for (a, b), v in sorted(reference.items())
+        ]
+        got_and, got_or = fm.masks()
+        ref_and, ref_or = self._reference_masks(16, 8, reference)
+        np.testing.assert_array_equal(got_and, ref_and)
+        np.testing.assert_array_equal(got_or, ref_or)
+        np.testing.assert_array_equal(
+            fm.faulty_addresses, sorted({a for a, _ in reference})
+        )
+        for address in range(16):
+            expected = [
+                (a, b, v) for (a, b), v in sorted(reference.items()) if a == address
+            ]
+            assert [
+                (f.address, f.bit, f.stuck_value) for f in fm.faults_at(address)
+            ] == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        first=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7), st.integers(0, 1)),
+            max_size=20,
+        ),
+        second=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7), st.integers(0, 1)),
+            max_size=20,
+        ),
+    )
+    def test_merge_matches_dict_union(self, first, second):
+        a = FaultMap(8, 8, [BitFault(*entry) for entry in first])
+        b = FaultMap(8, 8, [BitFault(*entry) for entry in second])
+        reference: dict[tuple[int, int], int] = {}
+        for address, bit, value in first + second:  # later adds win, b wins ties
+            reference[(address, bit)] = value
+        merged = a.merge(b)
+        assert [(f.address, f.bit, f.stuck_value) for f in merged.faults] == [
+            (address, bit, value)
+            for (address, bit), value in sorted(reference.items())
+        ]
+
+    def test_masks_refresh_after_add(self):
+        fm = FaultMap(4, 8, [BitFault(0, 0, 1)])
+        _, or_before = fm.masks()
+        assert or_before[1] == 0
+        fm.add(BitFault(1, 2, 1))  # must invalidate the cached masks
+        and_after, or_after = fm.masks()
+        assert or_after[1] == 0b100
+        fm.add(BitFault(1, 2, 0))  # polarity override flips OR to AND
+        and_final, or_final = fm.masks()
+        assert or_final[1] == 0
+        assert and_final[1] == 0xFF ^ 0b100
+
+    def test_masks_returns_independent_copies(self):
+        fm = FaultMap(4, 8, [BitFault(0, 0, 1)])
+        and_masks, or_masks = fm.masks()
+        and_masks[:] = 0
+        or_masks[:] = 0xFF
+        fresh_and, fresh_or = fm.masks()
+        assert fresh_and[0] == 0xFF
+        assert fresh_or[0] == 0b1
+
+    def test_mask_views_are_read_only_and_copy_free(self):
+        fm = FaultMap(4, 8, [BitFault(0, 0, 1)])
+        view_and, view_or = fm.mask_views()
+        np.testing.assert_array_equal(view_and, fm.masks()[0])
+        np.testing.assert_array_equal(view_or, fm.masks()[1])
+        with pytest.raises(ValueError):
+            view_and[0] = 0
+        assert fm.mask_views()[0] is view_and  # cached, not rebuilt
+
+    def test_apply_tracks_mutation(self):
+        fm = FaultMap(2, 8)
+        words = np.array([0x00, 0x00], dtype=np.uint64)
+        np.testing.assert_array_equal(fm.apply(words), words)
+        fm.add(BitFault(1, 0, 1))
+        assert fm.apply(words)[1] == 0x01
+
+    def test_contains_out_of_range_is_false(self):
+        fm = FaultMap(4, 8, [BitFault(0, 0, 1)])
+        assert (0, 0) in fm
+        assert (4, 0) not in fm
+        assert (0, 8) not in fm
+        assert (-1, 0) not in fm
+
+    def test_contains_malformed_key_is_false(self):
+        """The dict-backed core answered False for any wrong-shaped key."""
+        fm = FaultMap(4, 8, [BitFault(0, 0, 1)])
+        assert (1, 2, 3) not in fm
+        assert "ab" not in fm
+        assert (0,) not in fm
+        assert ("x", "y") not in fm
+        assert None not in fm
+        # keys must be true integers: 0.7 must not truncate to a spurious hit,
+        # and strings must not coerce (floats are rejected outright, which is
+        # stricter than dict hash-equality but never answers True wrongly)
+        assert (0.7, 0) not in fm
+        assert (0.0, 0.0) not in fm
+        assert ("0", "0") not in fm
+        assert (np.int64(0), np.int64(0)) in fm  # numpy ints are real indices
+
+    def test_faults_at_unknown_address_is_empty(self):
+        fm = FaultMap(4, 8, [BitFault(0, 0, 1)])
+        assert fm.faults_at(3) == []
+        assert fm.faults_at(17) == []
+
+    def test_from_arrays_rejects_non_binary_stuck_values(self):
+        stuck = np.zeros((2, 4), dtype=bool)
+        values = np.zeros((2, 4), dtype=int)
+        stuck[0, 1] = True
+        values[0, 1] = 2
+        with pytest.raises(ValueError):
+            FaultMap.from_arrays(stuck, values)
+        # non-stuck cells may hold arbitrary values — they are ignored
+        values[0, 1] = 1
+        values[1, 3] = 9
+        assert FaultMap.from_arrays(stuck, values).num_faults == 1
+
+    def test_from_arrays_copies_input_arrays(self):
+        stuck = np.zeros((2, 4), dtype=bool)
+        stuck[1, 2] = True
+        values = np.ones((2, 4), dtype=int)
+        fm = FaultMap.from_arrays(stuck, values)
+        stuck[0, 0] = True  # caller mutation must not leak into the map
+        assert fm.num_faults == 1
+
+    def test_dense_views_expose_state(self):
+        fm = FaultMap(2, 4, [BitFault(1, 3, 1), BitFault(0, 0, 0)])
+        expected_stuck = np.zeros((2, 4), dtype=bool)
+        expected_stuck[1, 3] = True
+        expected_stuck[0, 0] = True
+        np.testing.assert_array_equal(fm.stuck_mask, expected_stuck)
+        values = fm.stuck_values
+        assert values[1, 3] == 1
+        assert values[0, 0] == 0
+        assert np.all(values[~expected_stuck] == 0)
+
+
 class TestFaultMapProperties:
     @settings(max_examples=50, deadline=None)
     @given(

@@ -163,3 +163,74 @@ class TestFaultMaskSet:
             weights, bias = masks.masked_layer_parameters(network, index)
             fmt = masks.layer_formats[index].weight_format
             assert np.all(weights <= fmt.max_value) and np.all(weights >= fmt.min_value)
+
+
+class TestVectorizedHelpers:
+    """The vectorized popcount / random-mask paths must match their
+    pre-vectorization per-bit reference loops exactly."""
+
+    @staticmethod
+    def _reference_popcount(a: np.ndarray) -> int:
+        total = 0
+        a = a.copy()
+        while np.any(a):
+            total += int(np.sum(a & np.uint64(1)))
+            a >>= np.uint64(1)
+        return total
+
+    @staticmethod
+    def _reference_random_masks(shape, word_bits, fault_rate, stuck_one_probability, rng, full):
+        and_mask = np.full(shape, full, dtype=np.uint64)
+        or_mask = np.zeros(shape, dtype=np.uint64)
+        stuck = rng.random(shape + (word_bits,)) < fault_rate
+        stuck_one = rng.random(shape + (word_bits,)) < stuck_one_probability
+        for bit in range(word_bits):
+            bit_mask = np.uint64(1 << bit)
+            clear_here = stuck[..., bit] & ~stuck_one[..., bit]
+            set_here = stuck[..., bit] & stuck_one[..., bit]
+            and_mask[clear_here] &= np.uint64(full ^ bit_mask)
+            or_mask[set_here] |= bit_mask
+        return and_mask, or_mask
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        word_bits=st.sampled_from([1, 8, 16, 22, 63, 64]),
+        size=st.integers(0, 40),
+    )
+    def test_popcount_matches_reference(self, seed, word_bits, size):
+        from repro.sram.bitops import popcount
+
+        rng = np.random.default_rng(seed)
+        high = (1 << word_bits) - 1
+        words = rng.integers(0, high, size=size, endpoint=True, dtype=np.uint64)
+        assert popcount(words) == self._reference_popcount(words)
+
+    def test_popcount_all_64_bits(self):
+        from repro.sram.bitops import popcount
+
+        assert popcount(np.array([0xFFFFFFFFFFFFFFFF], dtype=np.uint64)) == 64
+        assert popcount(np.zeros(5, dtype=np.uint64)) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        rows=st.integers(1, 6),
+        cols=st.integers(1, 6),
+        word_bits=st.sampled_from([1, 8, 16, 24]),
+        rate=st.floats(0.0, 1.0),
+        stuck_one=st.floats(0.0, 1.0),
+    )
+    def test_random_masks_match_reference(self, seed, rows, cols, word_bits, rate, stuck_one):
+        from repro.matic.masking import _random_masks
+
+        full = np.uint64((1 << word_bits) - 1)
+        shape = (rows, cols)
+        vec_and, vec_or = _random_masks(
+            shape, word_bits, rate, stuck_one, np.random.default_rng(seed), full
+        )
+        ref_and, ref_or = self._reference_random_masks(
+            shape, word_bits, rate, stuck_one, np.random.default_rng(seed), full
+        )
+        np.testing.assert_array_equal(vec_and, ref_and)
+        np.testing.assert_array_equal(vec_or, ref_or)

@@ -106,6 +106,41 @@ class TestWeightPlacement:
         with pytest.raises(ValueError):
             placement.layer_fault_masks([FaultMap(64, 16)], 0, 16)
 
+    def test_layer_fault_masks_rejects_undersized_maps(self, network, memory):
+        """A fault map that does not cover the placed address range must fail
+        loudly, not silently read identity masks from padding."""
+        placement = WeightPlacement(network.widths, len(memory), 64)
+        small_maps = [FaultMap(4, 16) for _ in range(len(memory))]
+        with pytest.raises(IndexError):
+            placement.layer_fault_masks(small_maps, 0, 16)
+
+    def test_layer_fault_masks_order_independent(self, network, memory):
+        """Masks attach to placements by neuron index, not list position."""
+        placement = WeightPlacement(network.widths, len(memory), 64)
+        neuron = placement.layers[0].neuron(5)
+        fault_maps = [FaultMap(64, 16) for _ in range(len(memory))]
+        fault_maps[neuron.pe].add(BitFault(neuron.weight_address(2), 7, 1))
+        reference = placement.layer_fault_masks(fault_maps, 0, word_bits=16)
+        placement.layers[0].neurons.reverse()
+        permuted = placement.layer_fault_masks(fault_maps, 0, word_bits=16)
+        for expected, got in zip(reference, permuted):
+            np.testing.assert_array_equal(expected, got)
+
+    def test_layer_fault_masks_mixed_bank_sizes(self, network, quantizer, memory):
+        """Banks of different depths gather correctly through the padded
+        stacked-mask matrix."""
+        placement = WeightPlacement(network.widths, len(memory), 64)
+        fault_maps = [FaultMap(64 + 16 * index, 16) for index in range(len(memory))]
+        neuron = placement.layers[0].neuron(2)
+        fault_maps[neuron.pe].add(BitFault(neuron.weight_address(0), 1, 1))
+        weight_and, weight_or, bias_and, bias_or = placement.layer_fault_masks(
+            fault_maps, 0, word_bits=16
+        )
+        assert weight_or[0, 2] == 0b10
+        assert np.count_nonzero(weight_or) == 1
+        assert np.all(weight_and == 0xFFFF)
+        assert np.all(bias_and == 0xFFFF) and np.all(bias_or == 0)
+
 
 class TestMicrocodeCompiler:
     def test_program_structure(self, network, quantizer):

@@ -1,0 +1,147 @@
+"""Memoized chip profiling: MaticFlow.profile_chip through the artifact cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerator.soc import Snnac, SnnacConfig
+from repro.experiments.cache import ArtifactCache
+from repro.matic.flow import MaticFlow
+
+
+def make_chip(seed: int = 5) -> Snnac:
+    return Snnac(SnnacConfig(num_pes=2, words_per_bank=64, word_bits=16, seed=seed))
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ArtifactCache(root=tmp_path / "cache")
+
+
+VOLTAGE = 0.46
+
+
+class TestProfileChipMemoization:
+    def test_memoized_maps_bit_identical_to_fresh(self, cache):
+        fresh = MaticFlow().profile_chip(make_chip(), VOLTAGE)
+        flow = MaticFlow(training_cache=cache)
+        cold = flow.profile_chip(make_chip(), VOLTAGE)
+        warm = flow.profile_chip(make_chip(), VOLTAGE)
+        assert len(fresh) == len(cold) == len(warm) == 2
+        for reference, first, second in zip(fresh, cold, warm):
+            assert reference == first
+            assert first == second
+            np.testing.assert_array_equal(first.stuck_mask, second.stuck_mask)
+            np.testing.assert_array_equal(first.stuck_values, second.stuck_values)
+
+    def test_repeat_profile_is_a_cache_hit(self, cache):
+        flow = MaticFlow(training_cache=cache)
+        flow.profile_chip(make_chip(), VOLTAGE)
+        stores = cache.stats.stores
+        hits = cache.stats.hits
+        flow.profile_chip(make_chip(), VOLTAGE)
+        assert cache.stats.stores == stores  # nothing re-profiled
+        assert cache.stats.hits == hits + 2  # one hit per bank
+
+    def test_cache_hit_does_not_touch_the_bank(self, cache):
+        flow = MaticFlow(training_cache=cache)
+        flow.profile_chip(make_chip(), VOLTAGE)  # populate
+
+        chip = make_chip()
+        deployed = [
+            (np.arange(bank.num_words, dtype=np.uint64) * 13) & np.uint64(0xFFFF)
+            for bank in chip.memory
+        ]
+        for bank, words in zip(chip.memory, deployed):
+            bank.write_all(words)
+        reads_before = [bank.read_count for bank in chip.memory]
+        flow.profile_chip(chip, VOLTAGE)
+        for bank, words, reads in zip(chip.memory, deployed, reads_before):
+            np.testing.assert_array_equal(bank.stored_words(), words)
+            assert bank.read_count == reads  # the hit skipped profiling reads
+
+    def test_hits_survive_a_fresh_cache_instance(self, cache):
+        MaticFlow(training_cache=cache).profile_chip(make_chip(), VOLTAGE)
+        reopened = ArtifactCache(root=cache.root)
+        flow = MaticFlow(training_cache=reopened)
+        flow.profile_chip(make_chip(), VOLTAGE)
+        assert reopened.stats.hits == 2
+        assert reopened.stats.stores == 0
+
+    def test_distinct_operating_points_do_not_collide(self, cache):
+        flow = MaticFlow(training_cache=cache)
+        chip = make_chip()
+        low = flow.profile_chip(chip, 0.44)
+        high = flow.profile_chip(chip, 0.50)
+        warm_low = flow.profile_chip(make_chip(), 0.44)
+        warm_high = flow.profile_chip(make_chip(), 0.50)
+        assert low[0].num_faults > high[0].num_faults
+        for a, b in zip(low + high, warm_low + warm_high):
+            assert a == b
+        cold_temp = flow.profile_chip(make_chip(), 0.44, temperature=-10.0)
+        assert cache.stats.stores == 6  # third operating point re-profiled
+        assert cold_temp[0].num_faults >= low[0].num_faults
+
+    def test_distinct_chips_do_not_collide(self, cache):
+        flow = MaticFlow(training_cache=cache)
+        first = flow.profile_chip(make_chip(seed=5), VOLTAGE)
+        second = flow.profile_chip(make_chip(seed=6), VOLTAGE)
+        assert cache.stats.stores == 4  # both chips profiled for real
+        assert any(a != b for a, b in zip(first, second))
+
+    def test_custom_profiler_class_gets_own_cache_entries(self, cache):
+        """A subclass may change the measurement procedure, so it must never
+        share artifacts with the default profiler."""
+        from repro.sram import SramProfiler
+
+        class CustomProfiler(SramProfiler):
+            pass
+
+        flow = MaticFlow(training_cache=cache)
+        flow.profile_chip(make_chip(), VOLTAGE)
+        stores = cache.stats.stores
+        flow.profile_chip(make_chip(), VOLTAGE, profiler=CustomProfiler())
+        assert cache.stats.stores == stores + 2  # re-profiled under its own key
+
+    def test_profiler_configuration_participates_in_the_key(self, cache):
+        """A subclass extending describe() with its own settings gets one
+        artifact per configuration, not one per class."""
+        from repro.sram import SramProfiler
+
+        class RepeatProfiler(SramProfiler):
+            def __init__(self, passes: int) -> None:
+                super().__init__()
+                self.passes = passes
+
+            def describe(self) -> dict:
+                return {**super().describe(), "passes": int(self.passes)}
+
+        flow = MaticFlow(training_cache=cache)
+        flow.profile_chip(make_chip(), VOLTAGE, profiler=RepeatProfiler(passes=1))
+        stores = cache.stats.stores
+        flow.profile_chip(make_chip(), VOLTAGE, profiler=RepeatProfiler(passes=3))
+        assert cache.stats.stores == stores + 2  # separate keys per config
+        flow.profile_chip(make_chip(), VOLTAGE, profiler=RepeatProfiler(passes=3))
+        assert cache.stats.stores == stores + 2  # same config is a hit
+
+    def test_unrestored_profiler_bypasses_memoization(self, cache):
+        """restore_contents=False profiling has a visible side effect (the
+        bank keeps the test patterns), so a cache hit would not be
+        equivalent — such profilers must never hit or populate the cache."""
+        from repro.sram import SramProfiler
+
+        flow = MaticFlow(training_cache=cache)
+        profiler = SramProfiler(restore_contents=False)
+        flow.profile_chip(make_chip(), VOLTAGE, profiler=profiler)
+        flow.profile_chip(make_chip(), VOLTAGE, profiler=profiler)
+        assert cache.stats.stores == 0
+        assert cache.stats.hits == 0
+
+    def test_uncached_flow_still_profiles(self):
+        maps = MaticFlow().profile_chip(make_chip(), VOLTAGE)
+        truth = [
+            bank.fault_map_at(VOLTAGE) for bank in make_chip().memory
+        ]
+        for measured, expected in zip(maps, truth):
+            assert measured == expected

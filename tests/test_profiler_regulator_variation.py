@@ -58,6 +58,32 @@ class TestSramProfiler:
         report = profiler.profile_bank(bank, 0.9)
         assert list(report.pattern_errors) == ["checker"]
 
+    @pytest.mark.parametrize("voltage", [0.40, 0.44, 0.46, 0.48, 0.50, 0.53, 0.90])
+    def test_vectorized_profile_matches_ground_truth_across_voltages(self, voltage):
+        """The vectorized recording path recovers exactly the map the
+        behavioural model would inflict, from near-total failure to none."""
+        bank = SramBank(256, 16, seed=7)
+        report = SramProfiler().profile_bank(bank, voltage)
+        truth = bank.fault_map_at(voltage)
+        assert report.fault_map == truth
+        assert report.fault_map.num_faults == truth.num_faults
+
+    def test_profile_excludes_cell_with_vmin_at_rail(self):
+        """A cell whose V_min,read equals the supply exactly is safe (strict
+        inequality) and must not be profiled as stuck; a cell just above the
+        rail must be."""
+        voltage = 0.5
+        bank = SramBank(16, 8, seed=3)
+        bank.cells.vmin_read[:] = 0.30
+        bank.cells.vmin_read[4, 2] = voltage
+        bank.cells.vmin_read[4, 3] = voltage + 0.01
+        bank.cells.preferred_state[:] = 1
+        report = SramProfiler().profile_bank(bank, voltage)
+        positions = {(f.address, f.bit) for f in report.fault_map.faults}
+        assert (4, 2) not in positions
+        assert (4, 3) in positions
+        assert report.fault_map == bank.fault_map_at(voltage)
+
     def test_invalid_voltage(self):
         bank = SramBank(16, 16, seed=0)
         with pytest.raises(ValueError):
