@@ -23,7 +23,6 @@ the memoized maps are not bit-identical.
 from __future__ import annotations
 
 import json
-import os
 import sys
 import tempfile
 import time
@@ -34,13 +33,13 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from _bench_records import append_record  # noqa: E402
 from repro.accelerator.soc import Snnac, SnnacConfig  # noqa: E402
 from repro.experiments.cache import ArtifactCache  # noqa: E402
 from repro.matic.flow import MaticFlow  # noqa: E402
 from repro.sram import BitFault, SramBank, SramProfiler  # noqa: E402
 
 RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_faultmap.json"
-RECORD_LIMIT = 50
 
 NUM_WORDS = 4096
 WORD_BITS = 16
@@ -190,26 +189,6 @@ def bench_profile_chip(cache_dir: str) -> dict:
     }
 
 
-def _append_record(session: dict) -> None:
-    try:
-        record = json.loads(RECORD_PATH.read_text())
-        if not isinstance(record, dict) or not isinstance(record.get("sessions"), list):
-            record = {"sessions": []}
-    except (OSError, ValueError):
-        record = {"sessions": []}
-    record["suite"] = "faultmap-microbenchmark"
-    record["sessions"].append(session)
-    record["sessions"] = record["sessions"][-RECORD_LIMIT:]
-    record["latest_speedup"] = session["profile_bank"]["speedup"]
-    record["speedup_floor"] = SPEEDUP_FLOOR
-    handle = tempfile.NamedTemporaryFile(
-        "w", dir=RECORD_PATH.parent, suffix=".tmp", delete=False
-    )
-    with handle as temp_file:
-        temp_file.write(json.dumps(record, indent=2) + "\n")
-    os.replace(handle.name, RECORD_PATH)
-
-
 def main() -> int:
     bank_result = bench_profile_bank()
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
@@ -220,7 +199,15 @@ def main() -> int:
         "profile_bank": bank_result,
         "profile_chip": chip_result,
     }
-    _append_record(session)
+    append_record(
+        RECORD_PATH,
+        session,
+        suite="faultmap-microbenchmark",
+        headline={
+            "latest_speedup": session["profile_bank"]["speedup"],
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+    )
 
     print(json.dumps(session, indent=2))
     failures = []

@@ -1,0 +1,157 @@
+"""Sharded-sweep split/merge benchmark (BENCH_shard.json).
+
+Runs the Fig. 9a voltage grid three ways over a shared artifact cache:
+
+1. **Unsharded** — the reference single-host run.
+2. **Shard 0/2** — computes its deterministic slice and publishes each task
+   result to the cache; the merge is expected to be incomplete (unless the
+   content hash happens to assign every task to shard 0).
+3. **Shard 1/2** — computes the complementary slice and merges the full
+   grid back out of the cache.
+
+The merged table must be **bit-identical** to the unsharded run — same
+floats, not merely close — and a re-run of shard 0 must recall everything
+from the cache without recomputing a single task.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py
+
+Appends a session record to ``BENCH_shard.json`` at the repository root and
+exits non-zero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from _bench_records import append_record  # noqa: E402
+from repro.experiments.cache import ArtifactCache  # noqa: E402
+from repro.experiments.engine import (  # noqa: E402
+    ShardIncompleteError,
+    ShardSpec,
+    SweepRunner,
+    expand_grid,
+)
+from repro.experiments.fig09_sram import run_fig9a  # noqa: E402
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_shard.json"
+
+NUM_WORDS = 1024
+VOLTAGES = np.arange(0.40, 0.561, 0.02)
+SWEEP_LABEL = "bench-shard-fig9a"
+
+
+def _points(result) -> list[tuple[float, float, float, float]]:
+    return [
+        (p.voltage, p.measured_rate, p.predicted_rate, p.word_rate)
+        for p in result.points
+    ]
+
+
+def _shard_runner(store: ArtifactCache, index: int, count: int) -> SweepRunner:
+    return SweepRunner(
+        workers=1,
+        shard=ShardSpec(index, count),
+        shard_store=store,
+        sweep_label=SWEEP_LABEL,
+    )
+
+
+def bench_split_merge(cache_dir: str) -> dict:
+    store = ArtifactCache(root=cache_dir)
+    kwargs = dict(voltages=VOLTAGES, num_words=NUM_WORDS)
+
+    start = time.perf_counter()
+    reference = run_fig9a(runner=SweepRunner(workers=1), **kwargs)
+    unsharded_seconds = time.perf_counter() - start
+
+    # shard sizes are a property of the task content hash, not of list order
+    tasks = expand_grid(voltages=[float(v) for v in VOLTAGES], seed=3)
+    sizes = [len(ShardSpec(i, 2).partition(tasks)) for i in range(2)]
+
+    start = time.perf_counter()
+    shard0_result = None
+    shard0_incomplete = False
+    try:
+        shard0_result = run_fig9a(runner=_shard_runner(store, 0, 2), **kwargs)
+    except ShardIncompleteError:
+        shard0_incomplete = True
+    shard0_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    merged = run_fig9a(runner=_shard_runner(store, 1, 2), **kwargs)
+    shard1_seconds = time.perf_counter() - start
+
+    # a re-run of shard 0 is now a pure cache merge: zero recomputation
+    rerun_runner = _shard_runner(store, 0, 2)
+    start = time.perf_counter()
+    remerged = run_fig9a(runner=rerun_runner, **kwargs)
+    remerge_seconds = time.perf_counter() - start
+
+    bit_identical = _points(merged) == _points(reference)
+    remerge_identical = _points(remerged) == _points(reference)
+    if shard0_result is not None:  # degenerate hash split: shard 0 owned it all
+        bit_identical = bit_identical and _points(shard0_result) == _points(reference)
+
+    return {
+        "grid_points": len(tasks),
+        "num_words": NUM_WORDS,
+        "shard_sizes": sizes,
+        "shard0_incomplete_as_expected": shard0_incomplete == (sizes[1] > 0),
+        "merged_bit_identical": bit_identical,
+        "remerge_bit_identical": remerge_identical,
+        "remerge_recomputed_tasks": rerun_runner.tasks_run,
+        "unsharded_seconds": round(unsharded_seconds, 6),
+        "shard0_seconds": round(shard0_seconds, 6),
+        "shard1_seconds": round(shard1_seconds, 6),
+        "remerge_seconds": round(remerge_seconds, 6),
+    }
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-shard-") as cache_dir:
+        result = bench_split_merge(cache_dir)
+
+    session = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "split_merge": result,
+    }
+    append_record(
+        RECORD_PATH,
+        session,
+        suite="shard-split-merge",
+        headline={
+            "latest_bit_identical": session["split_merge"]["merged_bit_identical"]
+        },
+    )
+    print(json.dumps(session, indent=2))
+
+    failures = []
+    if not result["merged_bit_identical"]:
+        failures.append("2-shard merge diverged from the unsharded run")
+    if not result["remerge_bit_identical"]:
+        failures.append("cache re-merge diverged from the unsharded run")
+    if result["remerge_recomputed_tasks"] != 0:
+        failures.append(
+            f"re-merge recomputed {result['remerge_recomputed_tasks']} task(s) "
+            "instead of recalling them from the cache"
+        )
+    if not result["shard0_incomplete_as_expected"]:
+        failures.append("shard 0 completeness did not match its partition size")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

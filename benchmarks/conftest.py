@@ -15,15 +15,14 @@ trajectory is tracked from PR to PR.
 
 from __future__ import annotations
 
-import json
 import os
-import tempfile
 import time
 from datetime import datetime, timezone
 from pathlib import Path
 
 import pytest
 
+from _bench_records import append_record
 from repro.experiments import default_cache, prepare_benchmark
 
 #: Where the suite wall-clock record lands (repository root).
@@ -66,57 +65,31 @@ def bench_sweep_record():
         "workers_env": os.environ.get("REPRO_SWEEP_WORKERS", ""),
         "cpu_count": os.cpu_count(),
     }
-    _append_session_record(session)
+    append_record(
+        BENCH_RECORD_PATH,
+        session,
+        suite="benchmarks",
+        limit=BENCH_RECORD_LIMIT,
+        headline={"latest_wall_clock_seconds": session["wall_clock_seconds"]},
+        lock_path=_lock_path(),
+    )
 
 
-def _append_session_record(session: dict) -> None:
-    """Read-modify-write BENCH_sweep.json under an advisory lock.
+def _lock_path() -> Path | None:
+    """Advisory-lock location: a gitignored scratch dir in this checkout.
 
-    The lock keeps concurrent sessions (parallel CI jobs on one workspace)
-    from dropping each other's records; the temp-file + ``os.replace``
-    write keeps readers from ever seeing a torn file.  The perf record
-    must never fail the suite's teardown, so every step degrades silently.
+    The lock must be keyed to the resource it protects — the repo-root
+    ``BENCH_sweep.json`` — so it lives next to it, in the checkout's
+    ``.repro-cache/scratch/`` (gitignored), NOT under the configurable
+    ``$REPRO_CACHE_DIR`` root: two sessions with different cache roots
+    still race on the same record file and must take the same lock.
     """
     try:
-        lock_handle = open(BENCH_RECORD_PATH.with_suffix(".lock"), "w")
+        scratch = BENCH_RECORD_PATH.parent / ".repro-cache" / "scratch"
+        scratch.mkdir(parents=True, exist_ok=True)
+        return scratch / "BENCH_sweep.lock"
     except OSError:
-        lock_handle = None
-    try:
-        if lock_handle is not None:
-            try:
-                import fcntl
-
-                fcntl.flock(lock_handle, fcntl.LOCK_EX)
-            except (ImportError, OSError):
-                pass
-        try:
-            record = json.loads(BENCH_RECORD_PATH.read_text())
-            if not isinstance(record, dict) or not isinstance(record.get("sessions"), list):
-                record = {"sessions": []}
-        except (OSError, ValueError):
-            record = {"sessions": []}
-        record["suite"] = "benchmarks"
-        record["sessions"].append(session)
-        record["sessions"] = record["sessions"][-BENCH_RECORD_LIMIT:]
-        record["latest_wall_clock_seconds"] = session["wall_clock_seconds"]
-        temp_name = None
-        try:
-            handle = tempfile.NamedTemporaryFile(
-                "w", dir=BENCH_RECORD_PATH.parent, suffix=".tmp", delete=False
-            )
-            temp_name = handle.name
-            with handle as temp_file:
-                temp_file.write(json.dumps(record, indent=2) + "\n")
-            os.replace(temp_name, BENCH_RECORD_PATH)
-        except OSError:
-            if temp_name is not None:
-                try:
-                    os.unlink(temp_name)
-                except OSError:
-                    pass
-    finally:
-        if lock_handle is not None:
-            lock_handle.close()
+        return None
 
 
 def report(capsys, text: str) -> None:

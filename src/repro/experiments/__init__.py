@@ -18,38 +18,111 @@ tasks that run serially or on a multiprocessing pool with identical results,
 and heavyweight artifacts (float baselines, memory-adaptive fine-tuning,
 topology-sweep fits) are memoized by the content-addressed artifact cache
 (:mod:`repro.experiments.cache`).
+
+The engine/cache/common core is imported eagerly; the nine driver modules
+load lazily (PEP 562).  Laziness is not an import-time optimization: it
+keeps ``python -m repro.experiments.<driver>`` from importing the target
+module *before* ``runpy`` executes it as ``__main__`` (the double-execution
+``RuntimeWarning``), which also guaranteed every CLI run a second copy of
+the driver's classes and workers.
 """
 
-from .cache import ArtifactCache, cache_digest, default_cache, set_default_cache
+from importlib import import_module
+
+from .cache import (
+    ArtifactCache,
+    cache_digest,
+    collect_shard_results,
+    default_cache,
+    set_default_cache,
+    shard_result_key,
+)
 from .common import (
     ExperimentResult,
     PreparedBenchmark,
     default_flow,
+    experiment_parser,
     format_table,
     make_chip,
     prepare_benchmark,
+    run_experiment_cli,
+    runner_from_args,
     train_cached,
 )
-from .engine import SweepRunner, SweepTask, expand_grid
-from .fig05_mat_sweep import run_fig5
-from .fig09_sram import run_fig9a, run_fig9b
-from .fig10_error_vs_voltage import DEFAULT_VOLTAGES, run_fig10
-from .fig11_energy import run_fig11
-from .fig12_temperature import run_fig12
-from .table1_application_error import PAPER_TABLE1, run_table1
-from .table2_energy_scenarios import PAPER_TABLE2, run_table2
-from .table3_comparison import PRIOR_WORK_ROWS, run_table3
+from .engine import (
+    ProcessBackend,
+    SerialBackend,
+    ShardIncompleteError,
+    ShardSpec,
+    SweepBackend,
+    SweepExecution,
+    SweepRunner,
+    SweepTask,
+    ThreadBackend,
+    expand_grid,
+    resolve_backend,
+    task_digest,
+)
+#: Lazily exported driver attributes: name -> submodule that defines it.
+_DRIVER_EXPORTS = {
+    "run_fig5": "fig05_mat_sweep",
+    "run_fig9a": "fig09_sram",
+    "run_fig9b": "fig09_sram",
+    "run_fig10": "fig10_error_vs_voltage",
+    "DEFAULT_VOLTAGES": "fig10_error_vs_voltage",
+    "run_fig11": "fig11_energy",
+    "run_fig12": "fig12_temperature",
+    "run_table1": "table1_application_error",
+    "PAPER_TABLE1": "table1_application_error",
+    "run_table2": "table2_energy_scenarios",
+    "PAPER_TABLE2": "table2_energy_scenarios",
+    "run_table3": "table3_comparison",
+    "PRIOR_WORK_ROWS": "table3_comparison",
+}
+
+#: Driver submodules, also reachable as package attributes once requested.
+_DRIVER_MODULES = frozenset(_DRIVER_EXPORTS.values())
+
+
+def __getattr__(name: str):
+    if name in _DRIVER_MODULES:
+        return import_module(f".{name}", __name__)
+    module_name = _DRIVER_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(f".{module_name}", __name__), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_DRIVER_EXPORTS) | _DRIVER_MODULES)
+
 
 __all__ = [
     "ArtifactCache",
     "ExperimentResult",
     "PreparedBenchmark",
+    "ProcessBackend",
+    "SerialBackend",
+    "ShardIncompleteError",
+    "ShardSpec",
+    "SweepBackend",
+    "SweepExecution",
     "SweepRunner",
     "SweepTask",
+    "ThreadBackend",
     "cache_digest",
+    "collect_shard_results",
     "default_cache",
     "set_default_cache",
+    "shard_result_key",
     "expand_grid",
+    "resolve_backend",
+    "task_digest",
+    "experiment_parser",
+    "run_experiment_cli",
+    "runner_from_args",
     "prepare_benchmark",
     "train_cached",
     "default_flow",

@@ -16,6 +16,7 @@ Artifacts live under a root directory (``$REPRO_CACHE_DIR``, default
         trained-weights/<digest>.pkl      list[(weights, bias)] per layer
         quantized-image/<digest>.pkl      QuantizedWeights
         sweep-result/<digest>.pkl         arbitrary driver artifacts
+        sweep-shard/<digest>.pkl          per-task results of sharded sweeps
 
 ``<digest>`` is a SHA-256 over a canonical encoding of the key: a flat
 mapping of strings to scalars, strings, tuples, nested mappings, or numpy
@@ -50,6 +51,7 @@ import hashlib
 import math
 import os
 import pickle
+import threading
 import tempfile
 import time
 from collections.abc import Callable, Mapping
@@ -62,9 +64,12 @@ import numpy as np
 __all__ = [
     "ArtifactCache",
     "CacheStats",
+    "SHARD_RESULT_KIND",
     "cache_digest",
+    "collect_shard_results",
     "default_cache",
     "set_default_cache",
+    "shard_result_key",
     "parse_age",
     "main",
 ]
@@ -169,6 +174,10 @@ class ArtifactCache:
             self.root = Path(env) if env else Path.home() / ".cache" / "repro-matic"
         self.root = Path(self.root)
         self._memory: dict[str, Any] = {}
+        # the in-process layer is shared across ThreadBackend workers (the
+        # cache rides inside their shared payload), so its check-then-evict
+        # bookkeeping needs a lock; disk I/O stays lock-free (atomic replace)
+        self._memory_lock = threading.Lock()
 
     # ----------------------------------------------------------- plumbing
 
@@ -182,9 +191,10 @@ class ArtifactCache:
             return None
         digest = cache_digest(key)
         memory_key = f"{kind}/{digest}"
-        if memory_key in self._memory:
-            self.stats.hits += 1
-            return self._memory[memory_key]
+        with self._memory_lock:
+            if memory_key in self._memory:
+                self.stats.hits += 1
+                return self._memory[memory_key]
         path = self._path(kind, digest)
         try:
             with open(path, "rb") as handle:
@@ -203,31 +213,38 @@ class ArtifactCache:
         self.stats.hits += 1
         return value
 
-    def put(self, kind: str, key: Mapping[str, Any], value: Any) -> None:
-        """Store an artifact atomically (concurrent writers are idempotent)."""
+    def put(self, kind: str, key: Mapping[str, Any], value: Any) -> bool:
+        """Store an artifact atomically (concurrent writers are idempotent).
+
+        Returns ``True`` once the artifact is durably on disk.  Failures
+        degrade silently to ``False`` — for memoization that is the right
+        policy (an unpicklable artifact or a full disk must not crash the
+        driver after the computation already succeeded), but callers for
+        whom storage is correctness-critical (the sharded-sweep publish
+        channel) must check the return value and escalate themselves.
+        """
         if not self.enabled:
-            return
+            return False
         digest = cache_digest(key)
         path = self._path(kind, digest)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             handle, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         except OSError:
-            return
+            return False
         try:
             with os.fdopen(handle, "wb") as temp_file:
                 pickle.dump(value, temp_file, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(temp_name, path)
         except Exception:
-            # an unpicklable artifact (or a full disk) must not crash the
-            # driver after the computation itself already succeeded
             try:
                 os.unlink(temp_name)
             except OSError:
                 pass
-            return
+            return False
         self._remember(f"{kind}/{digest}", value)
         self.stats.stores += 1
+        return True
 
     def get_or_create(self, kind: str, key: Mapping[str, Any], factory: Callable[[], Any]) -> Any:
         """Memoize ``factory()`` under ``(kind, key)``."""
@@ -238,13 +255,15 @@ class ArtifactCache:
         return value
 
     def _remember(self, memory_key: str, value: Any) -> None:
-        if len(self._memory) >= self.memory_items:
-            self._memory.pop(next(iter(self._memory)))
-        self._memory[memory_key] = value
+        with self._memory_lock:
+            while len(self._memory) >= self.memory_items:
+                self._memory.pop(next(iter(self._memory)))
+            self._memory[memory_key] = value
 
     def clear_memory(self) -> None:
         """Drop the in-process layer (disk artifacts stay)."""
-        self._memory.clear()
+        with self._memory_lock:
+            self._memory.clear()
 
     # -------------------------------------------------------- maintenance
 
@@ -324,7 +343,8 @@ class ArtifactCache:
                 continue
             # evict exactly the deleted artifact from the in-process layer
             # (a no-op for .tmp files, whose names are not memory keys)
-            self._memory.pop(f"{kind}/{path.stem}", None)
+            with self._memory_lock:
+                self._memory.pop(f"{kind}/{path.stem}", None)
             removed += 1
             freed += stat.st_size
         return removed, freed
@@ -365,7 +385,54 @@ class ArtifactCache:
         state = self.__dict__.copy()
         state["_memory"] = {}
         state["stats"] = CacheStats()
+        del state["_memory_lock"]  # locks don't pickle; recreated on unpickle
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._memory_lock = threading.Lock()
+
+
+# ------------------------------------------------------------- shard merges
+
+#: Artifact kind under which sharded sweeps publish per-task results.  Each
+#: shard of a grid stores its slice here as tasks complete; any shard can
+#: then merge the full grid back out (see ``SweepRunner._map_sharded``).
+SHARD_RESULT_KIND = "sweep-shard"
+
+
+def shard_result_key(sweep: str, worker: str, task_digest: str) -> dict[str, str]:
+    """Store key of one task's published result within a sharded sweep.
+
+    ``sweep`` namespaces independent sweep configurations (shards that should
+    merge with each other must agree on it), ``worker`` is the worker
+    function's qualified name (two sweeps over the same grid through
+    different workers must not collide), and ``task_digest`` is the task's
+    content hash (:func:`repro.experiments.engine.task_digest`).
+    """
+    return {"sweep": str(sweep), "worker": str(worker), "task": str(task_digest)}
+
+
+def collect_shard_results(
+    cache: ArtifactCache, sweep: str, worker: str, task_digests: list[str]
+) -> tuple[dict[str, Any], list[str]]:
+    """Shard-aware merge: gather published task results for a grid.
+
+    Returns ``(found, missing)`` — ``found`` maps each task digest to the
+    payload some shard published, ``missing`` lists digests no shard has
+    published yet (their shards are still running, or have not run).
+    """
+    found: dict[str, Any] = {}
+    missing: list[str] = []
+    for digest in task_digests:
+        if digest in found:
+            continue
+        payload = cache.get(SHARD_RESULT_KIND, shard_result_key(sweep, worker, digest))
+        if payload is None:
+            missing.append(digest)
+        else:
+            found[digest] = payload
+    return found, missing
 
 
 _DEFAULT_CACHE: ArtifactCache | None = None

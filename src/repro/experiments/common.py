@@ -23,14 +23,32 @@ Execution
 ---------
 Grid-shaped drivers expand their operating points with
 :func:`~repro.experiments.engine.expand_grid` and execute them through a
-:class:`~repro.experiments.engine.SweepRunner` (serial or multiprocessing;
-see the engine module docstring for the worker model).  Drivers accept a
-``runner`` argument so callers can share one pool across experiments.
+:class:`~repro.experiments.engine.SweepRunner` (pluggable serial /
+process-pool / thread-pool backends; see the engine module docstring for the
+worker model).  Drivers accept a ``runner`` argument so callers can share
+one pool — and one shard configuration — across experiments.
+
+Command line
+------------
+Every driver module is runnable (``python -m repro.experiments.<driver>``)
+and shares one execution vocabulary, wired through
+:func:`experiment_parser` / :func:`run_experiment_cli`:
+
+* ``--workers N`` / ``--backend {serial,process,thread}`` pick the execution
+  backend (defaults honour ``$REPRO_SWEEP_WORKERS`` / ``$REPRO_SWEEP_BACKEND``);
+* ``--shard I/N`` runs one deterministic slice of the grid and merges the
+  full table through the artifact cache once every shard has published;
+* ``--stream`` prints each grid point as it completes (the engine's
+  ``as_completed`` channel) instead of only the final table.
 """
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass, field
+from importlib import import_module
+from importlib.machinery import ModuleSpec
+from typing import Any, Callable
 
 import numpy as np
 
@@ -40,7 +58,8 @@ from ..matic.flow import MaticFlow, TrainingConfig
 from ..nn.data import Dataset
 from ..nn.network import Network
 from ..nn.trainer import Trainer, TrainingHistory
-from .cache import ArtifactCache, default_cache
+from .cache import ArtifactCache, cache_digest, default_cache
+from .engine import BACKEND_NAMES, ShardIncompleteError, ShardSpec, SweepRunner, SweepTask
 
 __all__ = [
     "PreparedBenchmark",
@@ -51,6 +70,9 @@ __all__ = [
     "format_table",
     "ExperimentResult",
     "dataset_key",
+    "experiment_parser",
+    "runner_from_args",
+    "run_experiment_cli",
 ]
 
 
@@ -277,6 +299,135 @@ class ExperimentResult:
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.to_text()
+
+
+# ----------------------------------------------------------------- CLI layer
+
+
+#: argparse destinations that select *how* a sweep executes rather than what
+#: it computes.  They are excluded from the shard-store namespace so any mix
+#: of shards, backends, and worker counts over one configuration merges.
+_EXECUTION_ARGS = frozenset({"workers", "backend", "shard", "stream", "cache_dir"})
+
+
+def experiment_parser(prog: str, description: str) -> argparse.ArgumentParser:
+    """An argument parser pre-loaded with the shared sweep-execution flags.
+
+    Drivers add their own grid arguments on top; every experiment CLI
+    therefore accepts the same ``--workers/--backend/--shard/--stream``
+    vocabulary.
+    """
+    parser = argparse.ArgumentParser(prog=prog, description=description)
+    group = parser.add_argument_group("sweep execution")
+    group.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes/threads (default: $REPRO_SWEEP_WORKERS or CPU count)",
+    )
+    group.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="execution backend (default: $REPRO_SWEEP_BACKEND or 'process')",
+    )
+    group.add_argument(
+        "--shard",
+        type=ShardSpec.parse,
+        default=None,
+        metavar="I/N",
+        help="run slice I of N of the grid and merge results through the "
+        "artifact cache (e.g. --shard 0/2 on one host, --shard 1/2 on another)",
+    )
+    group.add_argument(
+        "--stream",
+        action="store_true",
+        help="print each grid point as it completes (incremental rendering)",
+    )
+    group.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-matic)",
+    )
+    return parser
+
+
+def _stream_progress(task: SweepTask, result: Any, done: int, total: int) -> None:
+    print(f"[{done}/{total}] {task.describe()}", flush=True)
+
+
+def runner_from_args(
+    args: argparse.Namespace, sweep: str
+) -> tuple[SweepRunner, ArtifactCache]:
+    """Build the (runner, cache) pair an experiment CLI hands to its driver.
+
+    The shard-store label combines the sweep name with a digest of every
+    non-execution argument, so shards only merge with runs of the *same*
+    configuration — change a grid axis or a seed and the label changes with
+    it, keeping stale slices out of the merge.
+    """
+    cache = (
+        ArtifactCache(root=args.cache_dir)
+        if getattr(args, "cache_dir", None)
+        else default_cache()
+    )
+    config = {
+        key: repr(value)
+        for key, value in sorted(vars(args).items())
+        if key not in _EXECUTION_ARGS
+    }
+    label = f"{sweep}:{cache_digest(config)[:16]}"
+    runner = SweepRunner(
+        workers=args.workers,
+        backend=args.backend,
+        shard=args.shard,
+        shard_store=cache,
+        sweep_label=label,
+        progress=_stream_progress if args.stream else None,
+    )
+    return runner, cache
+
+
+def run_experiment_cli(
+    args: argparse.Namespace,
+    sweep: str,
+    invoke: Callable[[SweepRunner, ArtifactCache], Any],
+) -> int:
+    """Shared experiment-CLI main body: build the runner, run, render, print.
+
+    ``invoke(runner, cache)`` returns the driver's result object; rendering
+    (``.to_experiment_result().to_text()``) happens here, once, so output
+    policy changes land in every driver CLI simultaneously.  A
+    :class:`~repro.experiments.engine.ShardIncompleteError` is an expected
+    outcome for every shard but the last one to publish, so it reports
+    progress and exits cleanly instead of failing.
+    """
+    runner, cache = runner_from_args(args, sweep)
+    try:
+        result = invoke(runner, cache)
+    except ShardIncompleteError as error:
+        print(error)
+        print(
+            "this shard's slice is published to the artifact cache; re-run any "
+            "shard after the others finish to print the merged table"
+        )
+        return 0
+    print(result.to_experiment_result().to_text())
+    return 0
+
+
+def dispatch_canonical_main(spec: ModuleSpec) -> int:
+    """Entry shim for a driver's ``if __name__ == "__main__"`` block.
+
+    ``runpy`` executes ``python -m repro.experiments.<driver>`` as a module
+    named ``__main__``, so workers defined in that copy would carry
+    ``__module__ == '__main__'`` and publish shard results under a namespace
+    that can never merge with programmatic runs of the same sweep.
+    Re-importing the canonical module (``__spec__.name`` survives runpy) and
+    running *its* ``main()`` keeps every worker on the canonical import path.
+    """
+    return import_module(spec.name).main()
 
 
 def fmt(value: float, digits: int = 3) -> str:

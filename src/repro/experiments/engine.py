@@ -1,4 +1,4 @@
-"""Unified sweep engine: grid expansion plus a deterministic worker pool.
+"""Unified sweep engine: grid expansion, pluggable backends, sharding.
 
 Every experiment driver regenerates its table/figure by evaluating a grid of
 operating points — benchmark × voltage × temperature × correction mode (or a
@@ -10,40 +10,96 @@ all nine drivers one execution model:
   root seed with :meth:`numpy.random.SeedSequence.spawn` — tasks are
   statistically independent and their seeds do not depend on how the grid is
   later scheduled;
-* :class:`SweepRunner` executes a task list either serially or on a
-  ``multiprocessing`` pool.  Results always come back in task order and are
-  bit-identical between the serial and parallel paths because workers receive
-  exactly (shared payload, task) and derive all randomness from the task
-  seed.
+* :class:`SweepRunner` executes a task list on a pluggable
+  :class:`SweepBackend`.  Results are bit-identical across backends because
+  workers receive exactly (shared payload, task) and derive all randomness
+  from the task seed.
 
-Worker model
-------------
-``SweepRunner.map(fn, tasks, shared=...)`` pickles ``shared`` once per
-worker process (pool initializer), then streams the small task records.
-``fn`` must be a module-level callable of ``(shared, task)`` so it can be
-pickled under any start method.  Drivers keep state-free workers; sweeps
-whose points intentionally share mutable state (the Fig. 12 temperature
-schedule walks one chip through a chamber) run through the same API with
-``parallel=False``, which the engine honours by executing in-process.
+Backends
+--------
+Execution is delegated to a :class:`SweepBackend`:
 
-The worker count defaults to ``$REPRO_SWEEP_WORKERS`` or the CPU count; a
-single-CPU host therefore runs serially with zero pool overhead.
+* :class:`SerialBackend` — in-process, lazy: each task runs when its result
+  is consumed, so streaming consumers drive the sweep one task at a time.
+* :class:`ProcessBackend` — the ``multiprocessing`` pool.  The shared
+  payload is pickled once per worker (pool initializer) and the small task
+  records are streamed; ``fn`` must be a module-level callable of
+  ``(shared, task)`` so it can be pickled under any start method.
+* :class:`ThreadBackend` — a thread pool for inference-only tasks whose
+  hot loops release the GIL inside NumPy (no pickling at all; the shared
+  payload is handed to every thread by reference, so workers must treat it
+  as read-only).
+
+``SweepRunner(backend=...)`` accepts a backend name or instance; ``None``
+falls back to ``$REPRO_SWEEP_BACKEND`` and finally to ``"process"``.  A
+single worker (or ``parallel=False``, used by sweeps whose points
+intentionally share mutable state — the Fig. 12 temperature schedule walks
+one chip through a chamber) always takes the serial path, preserving
+in-order, in-process execution.  The worker count defaults to
+``$REPRO_SWEEP_WORKERS`` or the CPU count.
+
+Streaming
+---------
+:meth:`SweepRunner.submit` returns a :class:`SweepExecution` handle whose
+:meth:`~SweepExecution.as_completed` yields ``(task, result)`` pairs as they
+land, so long sweeps stream partial results and drivers can render tables
+incrementally.  :meth:`SweepRunner.map` is the ordered convenience built on
+top of it (collect everything, return in task order).
+
+Sharding
+--------
+A :class:`ShardSpec` deterministically partitions a task list so N hosts can
+split one grid: each task is assigned by a stable content hash of its
+parameters (:func:`task_digest` — independent of list order and of the
+task's position in the grid).  A sharded :meth:`SweepRunner.map` runs only
+the shard-local slice, publishes every task result into the content-addressed
+artifact cache, then merges the full grid back out of the cache; until the
+other shards have published their slices it raises
+:class:`ShardIncompleteError`.  The last shard to finish therefore returns
+the complete, ordered result list — bit-identical to an unsharded run.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import multiprocessing
 import os
 import sys
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 
-__all__ = ["SweepTask", "SweepRunner", "expand_grid"]
+from .cache import (
+    ArtifactCache,
+    SHARD_RESULT_KIND,
+    cache_digest,
+    collect_shard_results,
+    default_cache,
+    shard_result_key,
+)
+
+__all__ = [
+    "SweepTask",
+    "SweepRunner",
+    "SweepExecution",
+    "SweepBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "ThreadBackend",
+    "ShardSpec",
+    "ShardIncompleteError",
+    "expand_grid",
+    "resolve_backend",
+    "task_digest",
+]
 
 _ENV_WORKERS = "REPRO_SWEEP_WORKERS"
+_ENV_BACKEND = "REPRO_SWEEP_BACKEND"
+
+#: Names accepted by ``SweepRunner(backend=...)`` and ``$REPRO_SWEEP_BACKEND``.
+BACKEND_NAMES = ("serial", "process", "thread")
 
 
 @dataclass(frozen=True)
@@ -75,6 +131,16 @@ class SweepTask:
         merged = dict(self.params)
         merged.update(extra)
         return replace(self, params=tuple(sorted(merged.items())))
+
+    def describe(self) -> str:
+        """Compact one-line rendering of the task's non-empty axes."""
+        parts = []
+        for name in ("benchmark", "voltage", "temperature", "mode"):
+            value = getattr(self, name)
+            if value is not None:
+                parts.append(f"{name}={value}")
+        parts.extend(f"{key}={value}" for key, value in self.params)
+        return " ".join(parts) or f"task #{self.index}"
 
 
 def expand_grid(
@@ -126,6 +192,133 @@ def expand_grid(
     return tasks
 
 
+# ------------------------------------------------------------------ sharding
+
+
+def _digest_safe(value: Any) -> Any:
+    """Coerce a task-parameter value into a canonical, cache-hashable form.
+
+    Unordered containers are sorted into a deterministic order and anything
+    without a canonical encoding is rejected outright: a ``repr`` fallback
+    would hash hash-randomized set ordering or memory addresses, silently
+    breaking the cross-host stability that shard assignment depends on.
+    """
+    if value is None or isinstance(
+        value, (bool, np.bool_, int, np.integer, float, np.floating, str)
+    ):
+        return value
+    if isinstance(value, np.ndarray):
+        # object arrays hash element memory addresses and structured (void)
+        # arrays can carry undefined padding bytes — neither survives a
+        # process boundary, let alone a host boundary
+        if value.dtype.hasobject or value.dtype.kind == "V":
+            raise TypeError(
+                f"task parameter array with dtype {value.dtype} has no "
+                "canonical digest encoding; use numeric/boolean/string dtypes"
+            )
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(_digest_safe(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted((_digest_safe(item) for item in value), key=repr))
+    if isinstance(value, dict):
+        return {str(key): _digest_safe(item) for key, item in value.items()}
+    raise TypeError(
+        f"task parameter {value!r} has no canonical digest encoding; use "
+        "scalars, strings, arrays, lists/tuples, sets, or dicts of those"
+    )
+
+
+def task_digest(task: SweepTask) -> str:
+    """Stable content hash of a task's payload (independent of grid position).
+
+    Hashes the axes, driver params, and the per-task seed — never ``index``
+    — so a task keeps its digest (and therefore its shard assignment and its
+    slot in the shard result store) when the task list is reordered.  The
+    seed keeps otherwise-identical grid points distinct, because they draw
+    different randomness and may legitimately produce different results.
+    """
+    return cache_digest(
+        {
+            "benchmark": task.benchmark,
+            "voltage": task.voltage,
+            "temperature": task.temperature,
+            "mode": task.mode,
+            "params": _digest_safe(task.params),
+            "seed": int(task.seed),
+        }
+    )
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Deterministic ``index``-of-``count`` partition of a sweep grid.
+
+    Assignment hashes each task's content (:func:`task_digest`), not its list
+    position, so for any fixed ``count`` the shards are disjoint, cover the
+    grid, and are stable under task-list reordering — N hosts can expand the
+    same grid independently and agree on who owns what.
+    """
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("shard count must be >= 1")
+        if not 0 <= self.index < self.count:
+            raise ValueError(
+                f"shard index {self.index} out of range for count {self.count}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        """Parse a CLI-style ``"i/n"`` spec (e.g. ``"0/2"``)."""
+        parts = str(text).strip().split("/")
+        if len(parts) != 2:
+            raise ValueError(f"shard spec must look like 'i/n', got {text!r}")
+        try:
+            index, count = int(parts[0]), int(parts[1])
+        except ValueError as error:
+            raise ValueError(f"shard spec must look like 'i/n', got {text!r}") from error
+        return cls(index=index, count=count)
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+    def owns_digest(self, digest: str) -> bool:
+        return int(digest[:16], 16) % self.count == self.index
+
+    def owns(self, task: SweepTask) -> bool:
+        """Whether this shard is responsible for executing ``task``."""
+        return self.owns_digest(task_digest(task))
+
+    def partition(self, tasks: Sequence[SweepTask]) -> list[SweepTask]:
+        """The sub-list of ``tasks`` owned by this shard (original order)."""
+        return [task for task in tasks if self.owns(task)]
+
+
+class ShardIncompleteError(RuntimeError):
+    """A sharded sweep merged, but other shards have not published yet.
+
+    The shard-local slice *did* run and its results are in the artifact
+    cache; re-running any shard after the missing ones have published
+    returns the complete merged result list.
+    """
+
+    def __init__(self, shard: ShardSpec, completed: int, missing: list[SweepTask]):
+        self.shard = shard
+        self.completed = completed
+        self.missing = missing
+        super().__init__(
+            f"shard {shard}: ran {completed} local task(s), but {len(missing)} of the "
+            f"grid's tasks are not in the shard store yet — run the remaining shards, "
+            f"then re-run any shard to merge the full grid"
+        )
+
+
+# ------------------------------------------------------------------ backends
+
 # Per-worker globals installed by the pool initializer: the shared payload is
 # pickled once per worker instead of once per task.
 _WORKER_FN: Callable[[Any, SweepTask], Any] | None = None
@@ -138,9 +331,127 @@ def _init_worker(fn: Callable[[Any, SweepTask], Any], shared: Any) -> None:
     _WORKER_SHARED = shared
 
 
-def _run_task(task: SweepTask) -> Any:
+def _run_indexed_task(item: tuple[int, SweepTask]) -> tuple[int, Any]:
     assert _WORKER_FN is not None, "worker used before initialization"
-    return _WORKER_FN(_WORKER_SHARED, task)
+    position, task = item
+    return position, _WORKER_FN(_WORKER_SHARED, task)
+
+
+@runtime_checkable
+class SweepBackend(Protocol):
+    """Executes a task list, yielding ``(position, result)`` as tasks finish.
+
+    ``position`` indexes into the submitted task list (not ``task.index``,
+    which is grid-global and survives sharding); completion order is
+    backend-dependent and callers must not rely on it.
+    """
+
+    name: str
+
+    def submit(
+        self,
+        fn: Callable[[Any, SweepTask], Any],
+        shared: Any,
+        tasks: Sequence[SweepTask],
+        workers: int,
+        chunksize: int,
+    ) -> Iterator[tuple[int, Any]]: ...
+
+
+class SerialBackend:
+    """In-process, in-order execution; lazy, so consumers drive the sweep."""
+
+    name = "serial"
+
+    def submit(self, fn, shared, tasks, workers, chunksize):
+        return ((position, fn(shared, task)) for position, task in enumerate(tasks))
+
+
+class ProcessBackend:
+    """``multiprocessing`` pool; the shared payload is pickled once per worker."""
+
+    name = "process"
+
+    def __init__(self, mp_context: str | None = None):
+        self.mp_context = mp_context
+
+    def submit(self, fn, shared, tasks, workers, chunksize):
+        # fork is only reliably safe on Linux: macOS lists it as available,
+        # but forking after numpy/Accelerate initialization aborts or
+        # deadlocks in the children (hence CPython's spawn default there)
+        method = self.mp_context or ("fork" if sys.platform == "linux" else "spawn")
+        context = multiprocessing.get_context(method)
+        items = list(enumerate(tasks))
+
+        def stream() -> Iterator[tuple[int, Any]]:
+            pool = context.Pool(
+                processes=workers, initializer=_init_worker, initargs=(fn, shared)
+            )
+            try:
+                yield from pool.imap_unordered(
+                    _run_indexed_task, items, chunksize=max(1, chunksize)
+                )
+                pool.close()
+            except BaseException:
+                pool.terminate()
+                raise
+            finally:
+                pool.join()
+
+        return stream()
+
+
+class ThreadBackend:
+    """Thread pool for workers whose hot loops release the GIL (NumPy).
+
+    Nothing is pickled: every thread sees the same shared payload object, so
+    workers must treat it as read-only (all the experiment drivers already
+    do — their workers copy networks before mutating them).
+    """
+
+    name = "thread"
+
+    def submit(self, fn, shared, tasks, workers, chunksize):
+        def stream() -> Iterator[tuple[int, Any]]:
+            pool = concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+            try:
+                futures = {
+                    pool.submit(fn, shared, task): position
+                    for position, task in enumerate(tasks)
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    yield futures[future], future.result()
+            except BaseException:
+                # a failing (or abandoned) sweep must not run the queued
+                # remainder to completion before the error reaches the caller
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+            pool.shutdown()
+
+        return stream()
+
+
+def resolve_backend(
+    spec: str | SweepBackend | None, mp_context: str | None = None
+) -> SweepBackend:
+    """Turn a backend name/instance into a backend, honouring the env override.
+
+    ``None`` resolves ``$REPRO_SWEEP_BACKEND`` and defaults to ``"process"``.
+    """
+    if spec is None:
+        spec = os.environ.get(_ENV_BACKEND, "").strip() or "process"
+    if isinstance(spec, str):
+        name = spec.strip().lower()
+        if name == "serial":
+            return SerialBackend()
+        if name == "process":
+            return ProcessBackend(mp_context)
+        if name == "thread":
+            return ThreadBackend()
+        raise ValueError(
+            f"unknown sweep backend {spec!r} (expected one of {BACKEND_NAMES})"
+        )
+    return spec
 
 
 def _default_workers() -> int:
@@ -153,30 +464,116 @@ def _default_workers() -> int:
     return os.cpu_count() or 1
 
 
+# -------------------------------------------------------------------- runner
+
+
+class SweepExecution:
+    """Handle over an in-flight sweep submission (one-shot).
+
+    Either iterate :meth:`as_completed` to stream ``(task, result)`` pairs as
+    they land, or call :meth:`results` to block for the ordered list.  The
+    underlying result stream can be consumed once; mixing the two on one
+    handle continues the same stream.
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[SweepTask],
+        stream: Iterator[tuple[int, Any]],
+        progress: Callable[[SweepTask, Any, int, int], None] | None = None,
+        on_result: Callable[[], None] | None = None,
+    ):
+        self.tasks = list(tasks)
+        self._stream = stream
+        self._progress = progress
+        self._on_result = on_result
+        self._completed: dict[int, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def _advance(self) -> Iterator[tuple[int, Any]]:
+        for position, value in self._stream:
+            self._completed[position] = value
+            if self._on_result is not None:
+                self._on_result()
+            if self._progress is not None:
+                self._progress(
+                    self.tasks[position], value, len(self._completed), len(self.tasks)
+                )
+            yield position, value
+
+    def completions(self) -> Iterator[tuple[int, SweepTask, Any]]:
+        """Yield ``(position, task, result)`` triples in completion order.
+
+        ``position`` indexes the submitted task list — it disambiguates
+        duplicate tasks for callers (like the shard publisher) that key
+        results by list slot.
+        """
+        for position, value in self._advance():
+            yield position, self.tasks[position], value
+
+    def as_completed(self) -> Iterator[tuple[SweepTask, Any]]:
+        """Yield ``(task, result)`` pairs in completion order."""
+        for position, task, value in self.completions():
+            yield task, value
+
+    def results(self) -> list[Any]:
+        """Block until every task finished; return results in task order."""
+        for _ in self._advance():
+            pass
+        return [self._completed[position] for position in range(len(self.tasks))]
+
+
 @dataclass
 class SweepRunner:
-    """Execute sweep tasks serially or on a deterministic worker pool.
+    """Execute sweep tasks on a pluggable, deterministic backend.
 
     Parameters
     ----------
     workers:
-        Worker processes.  ``None`` → ``$REPRO_SWEEP_WORKERS`` or CPU count.
-        1 (or a single-CPU host) always takes the in-process path.
+        Worker processes/threads.  ``None`` → ``$REPRO_SWEEP_WORKERS`` or CPU
+        count.  1 (or a single-CPU host) always takes the in-process path.
     parallel:
-        Master switch; ``False`` forces in-process execution regardless of
-        ``workers`` (used by sweeps whose points share mutable state).
+        Master switch; ``False`` forces in-process serial execution
+        regardless of ``workers``/``backend`` (used by sweeps whose points
+        share mutable state).
+    backend:
+        Backend name (``"serial"``/``"process"``/``"thread"``) or
+        :class:`SweepBackend` instance.  ``None`` → ``$REPRO_SWEEP_BACKEND``
+        or ``"process"``.
     mp_context:
-        ``multiprocessing`` start method (``"fork"`` on Linux keeps worker
-        start cheap; ``"spawn"`` works wherever fork is unavailable).
+        ``multiprocessing`` start method for the process backend (``"fork"``
+        on Linux keeps worker start cheap; ``"spawn"`` works everywhere).
     chunksize:
-        Tasks handed to a worker per dispatch.
+        Tasks handed to a pool worker per dispatch (process backend).
+    shard:
+        When set, :meth:`map` runs only this shard's slice of the grid and
+        merges the full grid through ``shard_store`` (see the module
+        docstring); streaming :meth:`submit` is shard-agnostic.
+    shard_store:
+        Artifact cache for sharded merges (``None`` → the default cache).
+    sweep_label:
+        Namespace for shard-store entries.  Runs that should merge with each
+        other must use the same label; runs with different configurations
+        (different grids, worker functions aside) must not share one.
+    progress:
+        Optional ``(task, result, done, total)`` callback invoked as each
+        task completes — lets CLIs render tables incrementally.  Under
+        sharding, ``done``/``total`` count the shard's slice (cache-recalled
+        results included), not just the tasks executed by this run.
     """
 
     workers: int | None = None
     parallel: bool = True
+    backend: str | SweepBackend | None = None
     mp_context: str | None = None
     chunksize: int = 1
-    #: number of tasks executed through this runner (serial + parallel)
+    shard: ShardSpec | None = None
+    shard_store: ArtifactCache | None = None
+    sweep_label: str = ""
+    progress: Callable[[SweepTask, Any, int, int], None] | None = None
+    #: number of tasks executed through this runner (all backends)
     tasks_run: int = field(default=0, init=False)
 
     def effective_workers(self, num_tasks: int) -> int:
@@ -185,24 +582,185 @@ class SweepRunner:
         workers = self.workers if self.workers is not None else _default_workers()
         return max(1, min(int(workers), num_tasks))
 
+    def _resolve(self, num_tasks: int) -> tuple[SweepBackend, int]:
+        # resolve before the single-worker short-circuit so an invalid
+        # backend name (or $REPRO_SWEEP_BACKEND) fails everywhere, not just
+        # on multicore hosts with multi-task grids
+        backend = resolve_backend(self.backend, self.mp_context)
+        workers = self.effective_workers(num_tasks)
+        if workers == 1:
+            return SerialBackend(), 1
+        return backend, workers
+
+    def submit(
+        self,
+        fn: Callable[[Any, SweepTask], Any],
+        tasks: Sequence[SweepTask],
+        shared: Any = None,
+        progress: Callable[[SweepTask, Any, int, int], None] | None = None,
+    ) -> SweepExecution:
+        """Start ``fn(shared, task)`` for every task; return a streaming handle.
+
+        ``progress`` overrides the runner-level callback for this submission
+        (``None`` falls back to :attr:`progress`).
+        """
+        tasks = list(tasks)
+        backend, workers = self._resolve(len(tasks))
+        stream = backend.submit(fn, shared, tasks, workers, self.chunksize)
+
+        def count() -> None:
+            # count at result time, not submission time: the backend streams
+            # are lazy, so an abandoned execution must not inflate tasks_run
+            self.tasks_run += 1
+
+        return SweepExecution(
+            tasks,
+            stream,
+            progress=progress if progress is not None else self.progress,
+            on_result=count,
+        )
+
+    def as_completed(
+        self,
+        fn: Callable[[Any, SweepTask], Any],
+        tasks: Sequence[SweepTask],
+        shared: Any = None,
+    ) -> Iterator[tuple[SweepTask, Any]]:
+        """Yield ``(task, result)`` pairs as they land (completion order)."""
+        return self.submit(fn, tasks, shared=shared).as_completed()
+
     def map(
         self,
         fn: Callable[[Any, SweepTask], Any],
         tasks: Sequence[SweepTask],
         shared: Any = None,
     ) -> list[Any]:
-        """Run ``fn(shared, task)`` for every task; results in task order."""
+        """Run ``fn(shared, task)`` for every task; results in task order.
+
+        With a :class:`ShardSpec` configured, only the shard-local slice is
+        executed; see :meth:`_map_sharded` for the merge contract.
+        """
         tasks = list(tasks)
-        self.tasks_run += len(tasks)
-        workers = self.effective_workers(len(tasks))
-        if workers == 1:
-            return [fn(shared, task) for task in tasks]
-        # fork is only reliably safe on Linux: macOS lists it as available,
-        # but forking after numpy/Accelerate initialization aborts or
-        # deadlocks in the children (hence CPython's spawn default there)
-        method = self.mp_context or ("fork" if sys.platform == "linux" else "spawn")
-        context = multiprocessing.get_context(method)
-        with context.Pool(
-            processes=workers, initializer=_init_worker, initargs=(fn, shared)
-        ) as pool:
-            return pool.map(_run_task, tasks, chunksize=max(1, self.chunksize))
+        if self.shard is not None and len(tasks) > 0:
+            return self._map_sharded(fn, tasks, shared)
+        return self.submit(fn, tasks, shared=shared).results()
+
+    def _map_sharded(
+        self,
+        fn: Callable[[Any, SweepTask], Any],
+        tasks: list[SweepTask],
+        shared: Any,
+    ) -> list[Any]:
+        """Run this shard's slice, publish it, and merge the full grid.
+
+        Every completed task result is stored in the artifact cache under
+        ``(sweep_label, worker, task_digest)`` as it lands (so a crashed
+        shard resumes where it left off), then the full grid is assembled
+        from local results plus the other shards' published entries.  Raises
+        :class:`ShardIncompleteError` while any task is still unpublished.
+        """
+        assert self.shard is not None
+        store = self.shard_store if self.shard_store is not None else default_cache()
+        if not store.enabled and self.shard.count > 1:
+            raise ValueError(
+                "sharded sweeps merge through the artifact cache; the shard store "
+                "must be enabled (unset $REPRO_CACHE_DISABLE or pass an enabled cache)"
+            )
+        worker_name = f"{fn.__module__}.{getattr(fn, '__qualname__', fn.__name__)}"
+        # the task digest covers only the task's own payload; the shared
+        # payload configures the sweep too (e.g. fig9a's num_words), so it
+        # must reach the store key or two different configurations of one
+        # worker over one grid would silently recall each other's results
+        try:
+            shared_digest = cache_digest({"shared": _digest_safe(shared)})
+        except TypeError:
+            shared_digest = None
+        if shared_digest is None and not self.sweep_label:
+            raise ValueError(
+                "this sweep's shared payload has no canonical digest, so the "
+                "shard store cannot distinguish configurations by content; pass "
+                "a sweep_label= that uniquely identifies this configuration"
+            )
+        label = (
+            self.sweep_label
+            if shared_digest is None
+            else f"{self.sweep_label}#{shared_digest[:16]}"
+        )
+        digests = [task_digest(task) for task in tasks]
+        mine = [
+            (position, task)
+            for position, task in enumerate(tasks)
+            if self.shard.owns_digest(digests[position])
+        ]
+        # recall shard-local results a previous (possibly killed) run already
+        # published, then execute only what is still pending
+        recalled, _ = collect_shard_results(
+            store,
+            label,
+            worker_name,
+            [digests[position] for position, _ in mine],
+        )
+        local: dict[str, Any] = {
+            digest: payload["result"] for digest, payload in recalled.items()
+        }
+        pending = [
+            (position, task)
+            for position, task in mine
+            if digests[position] not in local
+        ]
+        # stream progress counts the whole shard slice, recalled tasks
+        # included, so a resumed run reports e.g. [4/4] rather than [1/1]
+        progress = None
+        if self.progress is not None:
+            recalled_count = len(mine) - len(pending)
+            done = 0
+            for position, task in mine:
+                if digests[position] in local:
+                    done += 1
+                    self.progress(task, local[digests[position]], done, len(mine))
+            outer, slice_total = self.progress, len(mine)
+
+            def progress(task, value, done, _total):
+                outer(task, value, recalled_count + done, slice_total)
+
+        execution = self.submit(
+            fn, [task for _, task in pending], shared=shared, progress=progress
+        )
+        for local_position, _, value in execution.completions():
+            digest = digests[pending[local_position][0]]
+            local[digest] = value
+            # publish as results land, not after the slice finishes: a shard
+            # killed mid-run keeps its completed work and resumes from there
+            stored = store.put(
+                SHARD_RESULT_KIND,
+                shard_result_key(label, worker_name, digest),
+                {"result": value},
+            )
+            if not stored and self.shard.count > 1:
+                # the publish is this shard's only channel to the merge; a
+                # silently dropped entry would deadlock the fleet on
+                # ShardIncompleteError with no error surfaced anywhere
+                raise RuntimeError(
+                    f"shard {self.shard}: failed to publish a task result to the "
+                    f"shard store at {store.root} (unpicklable result or "
+                    f"unwritable cache); the other shards can never merge "
+                    f"without it"
+                )
+        published, _ = collect_shard_results(
+            store,
+            label,
+            worker_name,
+            [digest for digest in digests if digest not in local],
+        )
+        results: list[Any] = []
+        missing: list[SweepTask] = []
+        for task, digest in zip(tasks, digests):
+            if digest in local:
+                results.append(local[digest])
+            elif digest in published:
+                results.append(published[digest]["result"])
+            else:
+                missing.append(task)
+        if missing:
+            raise ShardIncompleteError(self.shard, completed=len(mine), missing=missing)
+        return results

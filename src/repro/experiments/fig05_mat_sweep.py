@@ -30,12 +30,14 @@ from .cache import ArtifactCache, default_cache
 from .common import (
     ExperimentResult,
     PreparedBenchmark,
+    experiment_parser,
     fmt_percent,
     prepare_benchmark,
+    run_experiment_cli,
 )
 from .engine import SweepRunner, SweepTask, expand_grid
 
-__all__ = ["Fig5Point", "run_fig5"]
+__all__ = ["Fig5Point", "run_fig5", "main"]
 
 #: Fault proportions swept by the paper's figure (0.5 % ... 90 %).
 DEFAULT_FAULT_RATES = (0.005, 0.01, 0.02, 0.05, 0.10, 0.30, 0.50, 0.70, 0.90)
@@ -157,3 +159,38 @@ def run_fig5(
     result = Fig5Result(benchmark=prepared.name, baseline_error=prepared.baseline_error)
     result.points.extend(points)
     return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.experiments.fig05_mat_sweep`` — regenerate Fig. 5."""
+    parser = experiment_parser(
+        "python -m repro.experiments.fig05_mat_sweep",
+        "Fig. 5 — memory-adaptive training vs naive baseline across fault rates.",
+    )
+    parser.add_argument("--benchmark", default="mnist")
+    parser.add_argument(
+        "--fault-rates", type=float, nargs="+", default=list(DEFAULT_FAULT_RATES)
+    )
+    parser.add_argument("--num-samples", type=int, default=None)
+    parser.add_argument("--adaptive-epochs", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    return run_experiment_cli(
+        args,
+        "fig5",
+        lambda runner, cache: run_fig5(
+            fault_rates=tuple(args.fault_rates),
+            benchmark=args.benchmark,
+            num_samples=args.num_samples,
+            adaptive_epochs=args.adaptive_epochs,
+            seed=args.seed,
+            runner=runner,
+            cache=cache,
+        ),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    from repro.experiments.common import dispatch_canonical_main
+
+    raise SystemExit(dispatch_canonical_main(__spec__))

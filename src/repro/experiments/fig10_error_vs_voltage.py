@@ -31,14 +31,23 @@ from .common import (
     ExperimentResult,
     PreparedBenchmark,
     default_flow,
+    experiment_parser,
     fmt,
     fmt_percent,
     make_chip,
     prepare_benchmark,
+    run_experiment_cli,
 )
 from .engine import SweepRunner, SweepTask, expand_grid
 
-__all__ = ["VoltagePoint", "BenchmarkSweep", "Fig10Result", "run_fig10", "DEFAULT_VOLTAGES"]
+__all__ = [
+    "VoltagePoint",
+    "BenchmarkSweep",
+    "Fig10Result",
+    "run_fig10",
+    "DEFAULT_VOLTAGES",
+    "main",
+]
 
 #: SRAM voltage sweep covering the paper's measured range (first failure at
 #: ~0.53 V down to the 0.46 V "significant error increase" point), plus the
@@ -237,3 +246,44 @@ def run_fig10(
             )
         result.sweeps.append(sweep)
     return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.experiments.fig10_error_vs_voltage`` — Fig. 10."""
+    parser = experiment_parser(
+        "python -m repro.experiments.fig10_error_vs_voltage",
+        "Fig. 10 — application error vs SRAM voltage, naive vs MATIC.",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        default=["mnist", "facedet", "inversek2j", "bscholes"],
+    )
+    parser.add_argument(
+        "--voltages", type=float, nargs="+", default=list(DEFAULT_VOLTAGES)
+    )
+    parser.add_argument("--num-samples", type=int, default=None)
+    parser.add_argument("--adaptive-epochs", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--chip-seed", type=int, default=11)
+    args = parser.parse_args(argv)
+    return run_experiment_cli(
+        args,
+        "fig10",
+        lambda runner, cache: run_fig10(
+            benchmarks=tuple(args.benchmarks),
+            voltages=tuple(args.voltages),
+            num_samples=args.num_samples,
+            adaptive_epochs=args.adaptive_epochs,
+            seed=args.seed,
+            chip_seed=args.chip_seed,
+            runner=runner,
+            cache=cache,
+        ),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    from repro.experiments.common import dispatch_canonical_main
+
+    raise SystemExit(dispatch_canonical_main(__spec__))

@@ -18,10 +18,10 @@ from ..accelerator.energy import (
     OperatingPoint,
     SnnacEnergyModel,
 )
-from .common import ExperimentResult, fmt
+from .common import ExperimentResult, experiment_parser, fmt, run_experiment_cli
 from .engine import SweepRunner, SweepTask, expand_grid
 
-__all__ = ["Fig11Result", "run_fig11"]
+__all__ = ["Fig11Result", "run_fig11", "main"]
 
 #: MATIC-enabled energy-optimal operating point (EnOpt_split in Table II).
 ENERGY_OPTIMAL_POINT = OperatingPoint(0.55, 0.50, 17.8e6, name="EnOpt_split")
@@ -131,3 +131,43 @@ def run_fig11(
         optimized=optimized,
         optimized_point=optimized_point,
     )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.experiments.fig11_energy`` — Fig. 11 energy breakdown."""
+    parser = experiment_parser(
+        "python -m repro.experiments.fig11_energy",
+        "Fig. 11 — per-cycle energy breakdown (nominal vs MATIC-optimal point).",
+    )
+    parser.add_argument("--logic-voltage", type=float, default=ENERGY_OPTIMAL_POINT.logic_voltage)
+    parser.add_argument("--sram-voltage", type=float, default=ENERGY_OPTIMAL_POINT.sram_voltage)
+    parser.add_argument("--frequency", type=float, default=ENERGY_OPTIMAL_POINT.frequency)
+    args = parser.parse_args(argv)
+    # only the paper's point may carry the paper's label: an overridden
+    # voltage/frequency is some other operating point and must say so
+    overridden = (
+        args.logic_voltage,
+        args.sram_voltage,
+        args.frequency,
+    ) != (
+        ENERGY_OPTIMAL_POINT.logic_voltage,
+        ENERGY_OPTIMAL_POINT.sram_voltage,
+        ENERGY_OPTIMAL_POINT.frequency,
+    )
+    point = OperatingPoint(
+        args.logic_voltage,
+        args.sram_voltage,
+        args.frequency,
+        name="custom" if overridden else "EnOpt_split",
+    )
+    return run_experiment_cli(
+        args,
+        "fig11",
+        lambda runner, cache: run_fig11(optimized_point=point, runner=runner),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    from repro.experiments.common import dispatch_canonical_main
+
+    raise SystemExit(dispatch_canonical_main(__spec__))

@@ -16,7 +16,7 @@ error are recorded.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -26,13 +26,15 @@ from .cache import ArtifactCache, default_cache
 from .common import (
     ExperimentResult,
     default_flow,
+    experiment_parser,
     fmt,
     make_chip,
     prepare_benchmark,
+    run_experiment_cli,
 )
 from .engine import SweepRunner, SweepTask, expand_grid
 
-__all__ = ["TemperatureStep", "Fig12Result", "run_fig12"]
+__all__ = ["TemperatureStep", "Fig12Result", "run_fig12", "main"]
 
 
 @dataclass
@@ -124,9 +126,20 @@ def run_fig12(
     safe_voltage: float = 0.60,
     chamber: TemperatureChamber | None = None,
     deployment: MaticDeployment | None = None,
+    runner: SweepRunner | None = None,
     cache: ArtifactCache | None = None,
 ) -> Fig12Result:
-    """Run the temperature-chamber experiment with the canary controller."""
+    """Run the temperature-chamber experiment with the canary controller.
+
+    The chamber schedule is *stateful* (regulator state and storage
+    corruption carry from step to step), so any provided ``runner`` is
+    forced onto the engine's in-process serial path and sharding is
+    rejected — splitting the walk across hosts would change the physics.
+    """
+    if runner is not None and runner.shard is not None:
+        raise ValueError(
+            "the Fig. 12 chamber schedule is stateful and cannot be sharded"
+        )
     cache = cache if cache is not None else default_cache()
     prepared = prepare_benchmark(
         benchmark, num_samples=num_samples, seed=seed, cache=cache
@@ -158,7 +171,11 @@ def run_fig12(
     )
 
     # state carries between chamber steps: force the engine's serial path
-    runner = SweepRunner(parallel=False)
+    runner = (
+        SweepRunner(parallel=False)
+        if runner is None
+        else replace(runner, parallel=False, shard=None)
+    )
     tasks = expand_grid(
         params=[{"temperature": c.temperature} for c in conditions], seed=seed
     )
@@ -172,3 +189,42 @@ def run_fig12(
     # leave the chamber back at nominal conditions
     deployment.chip.set_environment(EnvironmentalConditions())
     return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.experiments.fig12_temperature`` — Fig. 12."""
+    parser = experiment_parser(
+        "python -m repro.experiments.fig12_temperature",
+        "Fig. 12 — canary-controlled SRAM voltage vs ambient temperature.",
+    )
+    parser.add_argument("--benchmark", default="inversek2j")
+    parser.add_argument("--target-voltage", type=float, default=0.50)
+    parser.add_argument("--num-samples", type=int, default=None)
+    parser.add_argument("--adaptive-epochs", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--chip-seed", type=int, default=11)
+    parser.add_argument("--safe-voltage", type=float, default=0.60)
+    args = parser.parse_args(argv)
+    if args.shard is not None:
+        parser.error("the Fig. 12 chamber schedule is stateful and cannot be sharded")
+    return run_experiment_cli(
+        args,
+        "fig12",
+        lambda runner, cache: run_fig12(
+            benchmark=args.benchmark,
+            target_voltage=args.target_voltage,
+            num_samples=args.num_samples,
+            adaptive_epochs=args.adaptive_epochs,
+            seed=args.seed,
+            chip_seed=args.chip_seed,
+            safe_voltage=args.safe_voltage,
+            runner=runner,
+            cache=cache,
+        ),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    from repro.experiments.common import dispatch_canonical_main
+
+    raise SystemExit(dispatch_canonical_main(__spec__))

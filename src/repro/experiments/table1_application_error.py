@@ -15,10 +15,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .common import ExperimentResult, fmt, fmt_percent, prepare_benchmark
+from .common import (
+    ExperimentResult,
+    experiment_parser,
+    fmt,
+    fmt_percent,
+    prepare_benchmark,
+    run_experiment_cli,
+)
 from .fig10_error_vs_voltage import DEFAULT_VOLTAGES, Fig10Result, run_fig10
 
-__all__ = ["Table1Row", "Table1Result", "run_table1", "PAPER_TABLE1"]
+__all__ = ["Table1Row", "Table1Result", "run_table1", "PAPER_TABLE1", "main"]
 
 
 #: The paper's Table I values (error rates as fractions, MSE as reported).
@@ -195,3 +202,42 @@ def run_table1(
             )
         )
     return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.experiments.table1_application_error`` — Table I."""
+    parser = experiment_parser(
+        "python -m repro.experiments.table1_application_error",
+        "Table I — application error (nominal / 0.50 V / 0.46 V, AEI reduction).",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        default=["mnist", "facedet", "inversek2j", "bscholes"],
+    )
+    parser.add_argument(
+        "--voltages", type=float, nargs="+", default=list(DEFAULT_VOLTAGES)
+    )
+    parser.add_argument("--num-samples", type=int, default=None)
+    parser.add_argument("--adaptive-epochs", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    return run_experiment_cli(
+        args,
+        "table1",
+        lambda runner, cache: run_table1(
+            benchmarks=tuple(args.benchmarks),
+            voltages=tuple(args.voltages),
+            num_samples=args.num_samples,
+            adaptive_epochs=args.adaptive_epochs,
+            seed=args.seed,
+            runner=runner,
+            cache=cache,
+        ),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    from repro.experiments.common import dispatch_canonical_main
+
+    raise SystemExit(dispatch_canonical_main(__spec__))

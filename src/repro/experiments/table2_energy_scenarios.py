@@ -28,10 +28,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..accelerator.energy import OperatingPoint, SnnacEnergyModel
-from .common import ExperimentResult, fmt
+from .common import ExperimentResult, experiment_parser, fmt, run_experiment_cli
 from .engine import SweepRunner, SweepTask, expand_grid
 
-__all__ = ["ScenarioResult", "Table2Result", "run_table2", "PAPER_TABLE2"]
+__all__ = ["ScenarioResult", "Table2Result", "run_table2", "PAPER_TABLE2", "main"]
 
 
 #: Paper-reported Table II rows (pJ/cycle) for side-by-side comparison.
@@ -207,3 +207,31 @@ def _scenario(
         baseline_logic_energy=baseline_breakdown.logic_total,
         baseline_sram_energy=baseline_breakdown.sram_total,
     )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.experiments.table2_energy_scenarios`` — Table II."""
+    parser = experiment_parser(
+        "python -m repro.experiments.table2_energy_scenarios",
+        "Table II — energy scenarios (HighPerf, EnOpt_split, EnOpt_joint).",
+    )
+    parser.add_argument("--accuracy-floor-voltage", type=float, default=0.50)
+    parser.add_argument("--sram-nominal-voltage", type=float, default=0.90)
+    parser.add_argument("--max-frequency", type=float, default=250.0e6)
+    args = parser.parse_args(argv)
+    return run_experiment_cli(
+        args,
+        "table2",
+        lambda runner, cache: run_table2(
+            accuracy_floor_voltage=args.accuracy_floor_voltage,
+            sram_nominal_voltage=args.sram_nominal_voltage,
+            max_frequency=args.max_frequency,
+            runner=runner,
+        ),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    from repro.experiments.common import dispatch_canonical_main
+
+    raise SystemExit(dispatch_canonical_main(__spec__))

@@ -16,10 +16,16 @@ from ..accelerator.energy import NOMINAL_OPERATING_POINT, OperatingPoint
 from ..accelerator.soc import CHIP_CHARACTERISTICS
 from ..quant.quantizer import WeightQuantizer
 from .cache import ArtifactCache, default_cache
-from .common import ExperimentResult, make_chip, prepare_benchmark
+from .common import (
+    ExperimentResult,
+    experiment_parser,
+    make_chip,
+    prepare_benchmark,
+    run_experiment_cli,
+)
 from .engine import SweepRunner, SweepTask, expand_grid
 
-__all__ = ["AcceleratorRow", "Table3Result", "run_table3", "PRIOR_WORK_ROWS"]
+__all__ = ["AcceleratorRow", "Table3Result", "run_table3", "PRIOR_WORK_ROWS", "main"]
 
 
 @dataclass(frozen=True)
@@ -198,3 +204,32 @@ def run_table3(
     shared = {"prepared": prepared, "matic_point": matic_point, "seed": seed}
     nominal_row, matic_row = runner.map(_table3_row_worker, tasks, shared=shared)
     return Table3Result(snnac_nominal=nominal_row, snnac_matic=matic_row)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.experiments.table3_comparison`` — Table III."""
+    parser = experiment_parser(
+        "python -m repro.experiments.table3_comparison",
+        "Table III — comparison with prior DNN accelerators (SNNAC rows).",
+    )
+    parser.add_argument("--benchmark", default="mnist")
+    parser.add_argument("--num-samples", type=int, default=800)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    return run_experiment_cli(
+        args,
+        "table3",
+        lambda runner, cache: run_table3(
+            benchmark=args.benchmark,
+            num_samples=args.num_samples,
+            seed=args.seed,
+            runner=runner,
+            cache=cache,
+        ),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    from repro.experiments.common import dispatch_canonical_main
+
+    raise SystemExit(dispatch_canonical_main(__spec__))

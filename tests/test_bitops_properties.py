@@ -1,0 +1,162 @@
+"""Property-based tests for the shared word↔bit conversions (sram/bitops).
+
+Every subsystem that touches SRAM contents routes through
+:func:`~repro.sram.bitops.pack_bits` / :func:`~repro.sram.bitops.unpack_words`
+/ :func:`~repro.sram.bitops.popcount`, so these helpers get the strongest
+coverage in the suite: hypothesis drives arbitrary shapes and word widths
+(including the full 64-bit boundary, where a naive ``1 << bits`` or a signed
+intermediate overflows), and every property is checked against a slow,
+obviously-correct pure-Python reference.
+
+``derandomize=True`` keeps CI deterministic: the examples are drawn from a
+fixed seed, so a failure here always reproduces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sram.bitops import pack_bits, popcount, unpack_words
+
+PROPERTY_SETTINGS = settings(max_examples=80, deadline=None, derandomize=True)
+
+
+@st.composite
+def words_with_width(draw):
+    """An arbitrary-shape uint64 array plus a word width its values fit in."""
+    word_bits = draw(st.integers(min_value=1, max_value=64))
+    shape = draw(
+        st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=3)
+    )
+    count = int(np.prod(shape))
+    limit = (1 << word_bits) - 1
+    values = draw(
+        st.lists(
+            # bias toward the boundaries, where packing bugs live
+            st.one_of(
+                st.integers(min_value=0, max_value=limit),
+                st.sampled_from([0, 1, limit, max(limit - 1, 0), limit >> 1]),
+            ),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    words = np.array(values, dtype=np.uint64).reshape(shape)
+    return words, word_bits
+
+
+@st.composite
+def bit_matrices(draw):
+    """An arbitrary ``(..., word_bits)`` 0/1 matrix, word_bits in 1..64."""
+    word_bits = draw(st.integers(min_value=1, max_value=64))
+    rows = draw(st.integers(min_value=1, max_value=12))
+    bits = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=1),
+            min_size=rows * word_bits,
+            max_size=rows * word_bits,
+        )
+    )
+    return np.array(bits, dtype=np.uint8).reshape(rows, word_bits), word_bits
+
+
+def reference_popcount(a: np.ndarray) -> int:
+    return sum(int(x).bit_count() for x in np.asarray(a).ravel().tolist())
+
+
+class TestRoundTrip:
+    @PROPERTY_SETTINGS
+    @given(words_with_width())
+    def test_pack_inverts_unpack(self, case):
+        words, word_bits = case
+        assert np.array_equal(pack_bits(unpack_words(words, word_bits)), words)
+
+    @PROPERTY_SETTINGS
+    @given(bit_matrices())
+    def test_unpack_inverts_pack(self, case):
+        bits, word_bits = case
+        assert np.array_equal(unpack_words(pack_bits(bits), word_bits), bits)
+
+    @PROPERTY_SETTINGS
+    @given(words_with_width())
+    def test_unpack_matches_python_bit_extraction(self, case):
+        words, word_bits = case
+        unpacked = unpack_words(words, word_bits)
+        assert unpacked.shape == words.shape + (word_bits,)
+        assert unpacked.dtype == np.uint8
+        for index in np.ndindex(words.shape):
+            value = int(words[index])
+            expected = [(value >> bit) & 1 for bit in range(word_bits)]
+            assert unpacked[index].tolist() == expected  # LSB at index 0
+
+    @PROPERTY_SETTINGS
+    @given(bit_matrices())
+    def test_pack_matches_python_accumulation(self, case):
+        bits, word_bits = case
+        packed = pack_bits(bits)
+        assert packed.dtype == np.uint64
+        for row, word in zip(bits, packed):
+            expected = sum(int(b) << position for position, b in enumerate(row))
+            assert int(word) == expected
+
+
+class TestPopcount:
+    @PROPERTY_SETTINGS
+    @given(words_with_width())
+    def test_matches_reference(self, case):
+        words, _ = case
+        assert popcount(words) == reference_popcount(words)
+
+    @PROPERTY_SETTINGS
+    @given(words_with_width())
+    def test_consistent_with_unpack(self, case):
+        words, word_bits = case
+        assert popcount(words) == int(unpack_words(words, word_bits).sum())
+
+    def test_empty_array(self):
+        assert popcount(np.zeros((0,), dtype=np.uint64)) == 0
+
+    @pytest.mark.parametrize(
+        "dtype", [np.uint8, np.uint16, np.uint32, np.uint64]
+    )
+    def test_narrow_dtypes(self, dtype):
+        values = np.array([0, 1, np.iinfo(dtype).max], dtype=dtype)
+        assert popcount(values) == reference_popcount(values)
+
+
+class TestSixtyFourBitBoundary:
+    """The uint64 edge: top bit set, all bits set, and signed-overflow bait."""
+
+    BOUNDARY_WORDS = np.array(
+        [0, 1, 2**63 - 1, 2**63, 2**64 - 1, 0xAAAAAAAAAAAAAAAA, 0x5555555555555555],
+        dtype=np.uint64,
+    )
+
+    def test_round_trip_at_full_width(self):
+        assert np.array_equal(
+            pack_bits(unpack_words(self.BOUNDARY_WORDS, 64)), self.BOUNDARY_WORDS
+        )
+
+    def test_top_bit_lands_in_last_column(self):
+        bits = unpack_words(np.array([2**63], dtype=np.uint64), 64)
+        assert bits[0, 63] == 1 and int(bits[0, :63].sum()) == 0
+
+    def test_all_ones_word(self):
+        bits = np.ones((1, 64), dtype=np.uint8)
+        assert int(pack_bits(bits)[0]) == 2**64 - 1
+
+    def test_popcount_at_boundary(self):
+        assert popcount(self.BOUNDARY_WORDS) == reference_popcount(self.BOUNDARY_WORDS)
+
+    @PROPERTY_SETTINGS
+    @given(
+        st.lists(
+            st.integers(min_value=2**63, max_value=2**64 - 1), min_size=1, max_size=16
+        )
+    )
+    def test_high_half_round_trip(self, values):
+        words = np.array(values, dtype=np.uint64)
+        assert np.array_equal(pack_bits(unpack_words(words, 64)), words)
+        assert popcount(words) == reference_popcount(words)

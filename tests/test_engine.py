@@ -2,12 +2,23 @@
 
 from __future__ import annotations
 
+import importlib
+import time
+
 import numpy as np
 import pytest
 
 from repro.experiments import run_fig5, run_fig9a, run_fig10
 from repro.experiments.cache import ArtifactCache, cache_digest
-from repro.experiments.engine import SweepRunner, SweepTask, expand_grid
+from repro.experiments.engine import (
+    ProcessBackend,
+    SerialBackend,
+    SweepRunner,
+    SweepTask,
+    ThreadBackend,
+    expand_grid,
+    resolve_backend,
+)
 
 
 def _square_worker(shared, task):
@@ -17,6 +28,13 @@ def _square_worker(shared, task):
         "value": task.param("value") ** 2 + shared["offset"],
         "draw": float(rng.uniform()),
     }
+
+
+def _failing_worker(shared, task):
+    if task.param("value") == shared["bad"]:
+        raise RuntimeError("boom")
+    time.sleep(shared.get("delay", 0.0))
+    return task.param("value")
 
 
 class TestExpandGrid:
@@ -81,7 +99,156 @@ class TestSweepRunner:
         assert SweepRunner().map(_square_worker, [], shared=None) == []
 
 
+class TestBackends:
+    """The pluggable execution layer must be invisible in the results."""
+
+    def _mini_sweep(self, runner):
+        tasks = expand_grid(params=[{"value": v} for v in range(9)], seed=13)
+        return runner.map(_square_worker, tasks, shared={"offset": 4})
+
+    def test_all_backends_bit_identical(self):
+        serial = self._mini_sweep(SweepRunner(workers=1, backend="serial"))
+        process = self._mini_sweep(SweepRunner(workers=3, backend="process"))
+        thread = self._mini_sweep(SweepRunner(workers=3, backend="thread"))
+        assert serial == process == thread
+        assert [r["value"] for r in serial] == [v**2 + 4 for v in range(9)]
+
+    def test_backend_instances_accepted(self):
+        runner = SweepRunner(workers=3, backend=ThreadBackend())
+        assert self._mini_sweep(runner) == self._mini_sweep(SweepRunner(workers=1))
+
+    def test_env_override_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_BACKEND", "thread")
+        assert isinstance(resolve_backend(None), ThreadBackend)
+        monkeypatch.setenv("REPRO_SWEEP_BACKEND", "serial")
+        assert isinstance(resolve_backend(None), SerialBackend)
+        monkeypatch.delenv("REPRO_SWEEP_BACKEND")
+        assert isinstance(resolve_backend(None), ProcessBackend)
+        # an explicit argument beats the environment
+        monkeypatch.setenv("REPRO_SWEEP_BACKEND", "thread")
+        assert isinstance(resolve_backend("process"), ProcessBackend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep backend"):
+            resolve_backend("quantum")
+        with pytest.raises(ValueError):
+            SweepRunner(workers=2, backend="quantum").map(
+                _square_worker, expand_grid(params=[{"value": 1}, {"value": 2}])
+            )
+        # a typo must fail even when the single-worker path would make the
+        # backend choice irrelevant — otherwise the error is CPU-count-dependent
+        with pytest.raises(ValueError, match="unknown sweep backend"):
+            SweepRunner(workers=1, backend="quantum").map(
+                _square_worker, expand_grid(params=[{"value": 1}]), shared={"offset": 0}
+            )
+
+    def test_tasks_run_counts_consumed_results_only(self):
+        tasks = expand_grid(params=[{"value": v} for v in range(5)], seed=1)
+        runner = SweepRunner(workers=1)
+        stream = runner.as_completed(_square_worker, tasks, shared={"offset": 0})
+        assert runner.tasks_run == 0  # nothing executed at submission time
+        next(stream)
+        assert runner.tasks_run == 1
+        list(stream)
+        assert runner.tasks_run == 5
+
+    @pytest.mark.parametrize("backend,workers", [
+        ("serial", 1), ("process", 3), ("thread", 3),
+    ])
+    def test_as_completed_streams_every_backend(self, backend, workers):
+        tasks = expand_grid(params=[{"value": v} for v in range(7)], seed=2)
+        runner = SweepRunner(workers=workers, backend=backend)
+        pairs = list(runner.as_completed(_square_worker, tasks, shared={"offset": 0}))
+        assert len(pairs) == len(tasks)
+        # every yielded pair couples a task with its own result
+        for task, result in pairs:
+            assert result["index"] == task.index
+            assert result["value"] == task.param("value") ** 2
+        # all tasks land exactly once, in some completion order
+        assert sorted(task.index for task, _ in pairs) == [t.index for t in tasks]
+
+    def test_serial_streaming_is_lazy(self):
+        executed = []
+
+        def recording_worker(shared, task):
+            executed.append(task.index)
+            return task.index
+
+        tasks = expand_grid(params=[{"value": v} for v in range(5)], seed=1)
+        stream = SweepRunner(workers=1).as_completed(recording_worker, tasks)
+        assert executed == []  # nothing runs until the consumer pulls
+        first = next(stream)
+        assert executed == [0] and first[1] == 0
+        rest = list(stream)
+        assert executed == [0, 1, 2, 3, 4]
+        assert [value for _, value in rest] == [1, 2, 3, 4]
+
+    def test_map_is_ordered_on_unordered_backends(self):
+        tasks = expand_grid(params=[{"value": v} for v in range(16)], seed=9)
+        for backend in ("process", "thread"):
+            results = SweepRunner(workers=4, backend=backend).map(
+                _square_worker, tasks, shared={"offset": 0}
+            )
+            assert [r["index"] for r in results] == list(range(16))
+
+    def test_progress_callback_sees_every_completion(self):
+        seen = []
+        runner = SweepRunner(
+            workers=1, progress=lambda task, result, done, total: seen.append((done, total))
+        )
+        runner.map(_square_worker, expand_grid(params=[{"value": v} for v in range(4)]), {"offset": 0})
+        assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    @pytest.mark.parametrize("backend,workers", [
+        ("serial", 1), ("process", 3), ("thread", 3),
+    ])
+    def test_worker_errors_propagate(self, backend, workers):
+        tasks = expand_grid(params=[{"value": v} for v in range(8)], seed=4)
+        runner = SweepRunner(workers=workers, backend=backend)
+        with pytest.raises(RuntimeError, match="boom"):
+            runner.map(_failing_worker, tasks, shared={"bad": 3})
+
+    def test_thread_backend_cancels_queue_on_failure(self):
+        # task 0 fails instantly; the 39 queued 50 ms sleepers must be
+        # cancelled rather than drained to completion before the error
+        # surfaces (which would stall a long sweep for its full duration)
+        tasks = expand_grid(params=[{"value": v} for v in range(40)], seed=4)
+        stream = ThreadBackend().submit(
+            _failing_worker, {"bad": 0, "delay": 0.05}, tasks, workers=2, chunksize=1
+        )
+        start = time.perf_counter()
+        with pytest.raises(RuntimeError, match="boom"):
+            for _ in stream:
+                pass
+        assert time.perf_counter() - start < 1.0  # 40 x 50 ms if drained
+
+    def test_submit_results_matches_map(self):
+        tasks = expand_grid(params=[{"value": v} for v in range(6)], seed=3)
+        runner = SweepRunner(workers=2, backend="thread")
+        execution = runner.submit(_square_worker, tasks, shared={"offset": 1})
+        assert len(execution) == 6
+        assert execution.results() == SweepRunner(workers=1).map(
+            _square_worker, tasks, shared={"offset": 1}
+        )
+
+
 class TestArtifactCache:
+    def test_memory_layer_thread_safe(self, tmp_path):
+        # the cache rides inside ThreadBackend shared payloads: hammer the
+        # check-then-evict bookkeeping from many threads at a tiny capacity
+        import concurrent.futures
+
+        cache = ArtifactCache(root=tmp_path, memory_items=2)
+
+        def worker(thread_index):
+            for step in range(200):
+                key = {"k": (thread_index * 200 + step) % 7}
+                cache.get_or_create("sweep-result", key, lambda: step)
+            return True
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            assert all(pool.map(worker, range(8)))
+
     def test_miss_then_hit(self, tmp_path):
         cache = ArtifactCache(root=tmp_path)
         key = {"benchmark": "mnist", "seed": 1}
@@ -177,6 +344,24 @@ class TestDriverEquivalence:
                 b.word_rate,
             )
 
+    def test_fig9a_three_backends_identical(self):
+        """Seeded mini-sweep through serial, process, and thread backends."""
+        voltages = np.array([0.46, 0.52])
+        rows = []
+        for backend, workers in (("serial", 1), ("process", 2), ("thread", 2)):
+            result = run_fig9a(
+                voltages=voltages,
+                num_words=96,
+                runner=SweepRunner(workers=workers, backend=backend),
+            )
+            rows.append(
+                [
+                    (p.voltage, p.measured_rate, p.predicted_rate, p.word_rate)
+                    for p in result.points
+                ]
+            )
+        assert rows[0] == rows[1] == rows[2]
+
     def test_fig5_cold_and_warm_cache_identical(self, tmp_path):
         # serial runner: cache stats are per-process, so the stores/hits
         # assertions are only meaningful when the tasks run in this process
@@ -251,3 +436,26 @@ class TestDriverEquivalence:
                 b.naive_error,
                 b.adaptive_error,
             )
+
+
+class TestDriverCLIs:
+    """Every driver CLI must build its parser with the shared sweep flags."""
+
+    @pytest.mark.parametrize("module_name", [
+        "fig05_mat_sweep",
+        "fig09_sram",
+        "fig10_error_vs_voltage",
+        "fig11_energy",
+        "fig12_temperature",
+        "table1_application_error",
+        "table2_energy_scenarios",
+        "table3_comparison",
+    ])
+    def test_help_exits_cleanly_with_shared_flags(self, module_name, capsys):
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        with pytest.raises(SystemExit) as info:
+            module.main(["--help"])
+        assert info.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--workers", "--backend", "--shard", "--stream"):
+            assert flag in out, f"{module_name} --help is missing {flag}"
