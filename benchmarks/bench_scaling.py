@@ -1,0 +1,170 @@
+"""Geometry-scaling benchmark (BENCH_scaling.json).
+
+Runs the ``scaling_geometry`` driver's grid — chip geometry (PE count ×
+bank capacity) crossed with a workload mix spanning a paper benchmark and
+the procedural ``synth/`` families — three ways over a shared artifact
+cache:
+
+1. **Unsharded** — the reference single-host run.
+2. **Shard 0/2** then **shard 1/2** — the split run; the second shard's
+   merge must be **bit-identical** to the unsharded table (same floats,
+   not merely close).
+
+It also asserts the structural invariants the geometry refactor guarantees:
+application error is identical across every geometry that fits a workload
+(the systolic reduction is geometry-invariant), and capacity-constrained
+points report placement spill instead of failing.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_scaling.py
+
+Appends a session record to ``BENCH_scaling.json`` at the repository root
+and exits non-zero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from _bench_records import append_record  # noqa: E402
+from repro.experiments.cache import ArtifactCache  # noqa: E402
+from repro.experiments.engine import (  # noqa: E402
+    ShardIncompleteError,
+    ShardSpec,
+    SweepRunner,
+)
+from repro.experiments.scaling_geometry import run_scaling_geometry  # noqa: E402
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
+
+WORKLOADS = ("inversek2j", "synth/mlp-d3-w16", "synth/wide-f96-h8", "synth/ae-i32-b4")
+NUM_PES = (2, 8, 16)
+WORDS_PER_BANK = (64, 512)
+SWEEP_LABEL = "bench-scaling-geometry"
+
+
+def _rows(result) -> list[tuple]:
+    return [
+        (
+            p.workload,
+            p.num_pes,
+            p.words_per_bank,
+            p.fits,
+            p.utilization,
+            p.spilled_neurons,
+            p.num_segments,
+            p.cycles_per_inference,
+            p.sram_reads,
+            p.error,
+            p.energy_per_inference_pj,
+            p.efficiency_gops_per_w,
+        )
+        for p in result.points
+    ]
+
+
+def _shard_runner(store: ArtifactCache, index: int, count: int) -> SweepRunner:
+    return SweepRunner(
+        workers=1,
+        shard=ShardSpec(index, count),
+        shard_store=store,
+        sweep_label=SWEEP_LABEL,
+    )
+
+
+def bench_scaling(cache_dir: str) -> dict:
+    store = ArtifactCache(root=cache_dir)
+    kwargs = dict(
+        workloads=WORKLOADS,
+        num_pes_values=NUM_PES,
+        words_per_bank_values=WORDS_PER_BANK,
+        num_samples=300,
+        epochs=5,
+        seed=3,
+        cache=store,
+    )
+
+    start = time.perf_counter()
+    reference = run_scaling_geometry(runner=SweepRunner(workers=1), **kwargs)
+    unsharded_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    shard0_incomplete = False
+    try:
+        run_scaling_geometry(runner=_shard_runner(store, 0, 2), **kwargs)
+    except ShardIncompleteError:
+        shard0_incomplete = True
+    shard0_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    merged = run_scaling_geometry(runner=_shard_runner(store, 1, 2), **kwargs)
+    shard1_seconds = time.perf_counter() - start
+
+    # structural invariants of the geometry refactor
+    fitting = [p for p in reference.points if p.fits]
+    error_geometry_invariant = all(
+        len({p.error for p in fitting if p.workload == name}) <= 1
+        for name in WORKLOADS
+    )
+    spilled_points = sum(1 for p in fitting if p.spilled_neurons > 0)
+    capacity_wall_points = sum(1 for p in reference.points if not p.fits)
+
+    return {
+        "grid_points": len(reference.points),
+        "workloads": list(WORKLOADS),
+        "num_pes": list(NUM_PES),
+        "words_per_bank": list(WORDS_PER_BANK),
+        "merged_bit_identical": _rows(merged) == _rows(reference),
+        "shard0_incomplete_as_expected": shard0_incomplete,
+        "error_geometry_invariant": error_geometry_invariant,
+        "spilled_points": spilled_points,
+        "capacity_wall_points": capacity_wall_points,
+        "unsharded_seconds": round(unsharded_seconds, 6),
+        "shard0_seconds": round(shard0_seconds, 6),
+        "shard1_seconds": round(shard1_seconds, 6),
+    }
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-scaling-") as cache_dir:
+        result = bench_scaling(cache_dir)
+
+    session = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "scaling": result,
+    }
+    append_record(
+        RECORD_PATH,
+        session,
+        suite="geometry-scaling",
+        headline={
+            "latest_bit_identical": result["merged_bit_identical"],
+            "latest_unsharded_seconds": result["unsharded_seconds"],
+        },
+    )
+    print(json.dumps(session, indent=2))
+
+    failures = []
+    if not result["merged_bit_identical"]:
+        failures.append("2-shard merge diverged from the unsharded run")
+    if not result["error_geometry_invariant"]:
+        failures.append("application error varied with chip geometry")
+    if result["spilled_points"] == 0:
+        failures.append("grid exercised no placement-spill point")
+    if result["capacity_wall_points"] == 0:
+        failures.append("grid exercised no capacity-wall point")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

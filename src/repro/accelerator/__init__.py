@@ -14,17 +14,26 @@ from .energy import (
     SramEnergyModel,
 )
 from .microcode import (
+    CapacityReport,
     LayerPlacement,
     LayerProgram,
     MicrocodeCompiler,
     NeuronPlacement,
     NpuProgram,
+    PlacementSegment,
     WeightPlacement,
+    plan_capacity,
 )
 from .npu import InferenceStats, Npu
 from .pe import ProcessingElement
-from .soc import CHIP_CHARACTERISTICS, Microcontroller, Snnac, SnnacConfig
-from .systolic import LayerExecutionStats, SystolicRing
+from .soc import (
+    CHIP_CHARACTERISTICS,
+    Microcontroller,
+    Snnac,
+    SnnacConfig,
+    chip_characteristics,
+)
+from .systolic import LayerExecutionStats, SystolicRing, evaluate_layer_words
 
 __all__ = [
     "ActivationFunctionUnit",
@@ -38,9 +47,12 @@ __all__ = [
     "NOMINAL_OPERATING_POINT",
     "PAPER_LOGIC_ANCHORS",
     "PAPER_SRAM_ANCHORS",
+    "PlacementSegment",
     "NeuronPlacement",
     "LayerPlacement",
     "WeightPlacement",
+    "CapacityReport",
+    "plan_capacity",
     "LayerProgram",
     "NpuProgram",
     "MicrocodeCompiler",
@@ -49,8 +61,10 @@ __all__ = [
     "ProcessingElement",
     "SystolicRing",
     "LayerExecutionStats",
+    "evaluate_layer_words",
     "Microcontroller",
     "Snnac",
     "SnnacConfig",
     "CHIP_CHARACTERISTICS",
+    "chip_characteristics",
 ]

@@ -37,6 +37,8 @@ __all__ = [
     "PAPER_LOGIC_ANCHORS",
     "PAPER_SRAM_ANCHORS",
     "NOMINAL_OPERATING_POINT",
+    "REFERENCE_NUM_PES",
+    "REFERENCE_WEIGHT_SRAM_BITS",
 ]
 
 # --------------------------------------------------------------------------
@@ -58,6 +60,9 @@ PAPER_SRAM_ANCHORS: tuple[tuple[float, float, float], ...] = (
     (0.90, 250.0e6, 36.50),
 )
 
+#: Nominal SRAM leakage power (W) implied by the anchor decomposition.
+_SRAM_LEAKAGE_NOMINAL = 5.0e-5
+
 
 @dataclass(frozen=True)
 class OperatingPoint:
@@ -77,6 +82,17 @@ class OperatingPoint:
 
 #: Nominal chip operating point (0.9 V unified, 250 MHz).
 NOMINAL_OPERATING_POINT = OperatingPoint(0.9, 0.9, 250.0e6, name="nominal")
+
+
+# --------------------------------------------------------------------------
+# Fabricated reference geometry the anchors were measured at: 8 PEs, each
+# with a 512x16-bit weight bank.  Geometry-parametric models scale the
+# calibrated constants linearly from this point (see
+# ``SnnacEnergyModel.for_geometry``).
+# --------------------------------------------------------------------------
+
+REFERENCE_NUM_PES = 8
+REFERENCE_WEIGHT_SRAM_BITS = 8 * 512 * 16
 
 
 @dataclass
@@ -266,7 +282,7 @@ class SramEnergyModel:
     def __init__(
         self,
         anchors: tuple[tuple[float, float, float], ...] = PAPER_SRAM_ANCHORS,
-        leakage_power_nominal: float = 5.0e-5,
+        leakage_power_nominal: float = _SRAM_LEAKAGE_NOMINAL,
         leakage_v0: float = 0.25,
         nominal_voltage: float = 0.9,
     ) -> None:
@@ -342,6 +358,58 @@ class SnnacEnergyModel:
         )
         self.sram_frequency = sram_frequency or FrequencyModel.calibrate(
             (0.65, 250.0e6), (0.45, 17.8e6)
+        )
+
+    @classmethod
+    def for_geometry(
+        cls,
+        num_pes: int = REFERENCE_NUM_PES,
+        words_per_bank: int = 512,
+        word_bits: int = 16,
+        logic_frequency: FrequencyModel | None = None,
+        sram_frequency: FrequencyModel | None = None,
+    ) -> "SnnacEnergyModel":
+        """Analytically scale the calibrated chip model to another geometry.
+
+        First-order scaling from the fabricated 65 nm anchors: per-PE logic
+        energy is geometry-invariant, so the logic effective capacitance and
+        leakage scale with ``num_pes``; per-bit SRAM array energy is
+        geometry-invariant, so the SRAM anchor energies and leakage scale
+        with the total weight-SRAM bit count.  Timing closure is assumed
+        unchanged (the critical paths — the MAC datapath and the SRAM
+        periphery — do not lengthen with more parallel PEs or deeper banks
+        in this first-order model), so the frequency models keep the chip
+        calibration unless overridden.
+
+        At the fabricated reference geometry (8 PEs, 512x16-bit banks) the
+        scale factors are exactly 1.0 and the model reproduces the test-chip
+        calibration bit-for-bit.  Away from it, treat results as analytic
+        extrapolation, not measurement — see ``docs/workloads.md`` for the
+        caveats.
+        """
+        if num_pes <= 0 or words_per_bank <= 0 or word_bits <= 0:
+            raise ValueError("geometry parameters must be positive")
+        pe_ratio = num_pes / REFERENCE_NUM_PES
+        bit_ratio = (num_pes * words_per_bank * word_bits) / REFERENCE_WEIGHT_SRAM_BITS
+        base_logic = LogicEnergyModel.calibrate()
+        logic = LogicEnergyModel(
+            effective_capacitance=base_logic.effective_capacitance * pe_ratio,
+            leakage_power_nominal=base_logic.leakage.nominal_power * pe_ratio,
+            leakage_v0=base_logic.leakage.v0,
+            nominal_voltage=base_logic.leakage.nominal_voltage,
+        )
+        sram = SramEnergyModel(
+            anchors=tuple(
+                (voltage, frequency, picojoules * bit_ratio)
+                for voltage, frequency, picojoules in PAPER_SRAM_ANCHORS
+            ),
+            leakage_power_nominal=_SRAM_LEAKAGE_NOMINAL * bit_ratio,
+        )
+        return cls(
+            logic=logic,
+            sram=sram,
+            logic_frequency=logic_frequency,
+            sram_frequency=sram_frequency,
         )
 
     # ------------------------------------------------------------------

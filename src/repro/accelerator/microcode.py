@@ -1,7 +1,7 @@
 """Model compilation: mapping a DNN onto SNNAC's PEs and weight SRAMs.
 
 SNNAC executes statically compiled microcode: each DNN layer becomes a
-sequence of time-multiplexed inner-product passes over the eight processing
+sequence of time-multiplexed inner-product passes over the processing
 elements, and every synaptic weight is assigned a home location (PE index,
 SRAM word address) in one of the per-PE weight banks.
 
@@ -9,13 +9,36 @@ The :class:`MicrocodeCompiler` performs that mapping for the pure-numpy
 :class:`~repro.nn.network.Network` models used in this reproduction:
 
 * output neurons of a layer are distributed round-robin across PEs (neuron
-  ``k`` lives on PE ``k mod 8``), and
-* each neuron's parameters occupy a contiguous address range in its PE's
-  bank: the bias word followed by the ``fan_in`` weight words.
+  ``k`` prefers PE ``k mod num_pes``), and
+* each neuron's parameters — the bias word followed by ``fan_in`` weight
+  words — occupy one or more contiguous address *segments*
+  (:class:`PlacementSegment`).  In the common case a neuron is a single
+  segment in its preferred PE's bank, exactly the fabricated chip's layout;
+  when a bank runs out of words the allocator **spills** the remainder into
+  the next bank with free space instead of failing, modelling the extra
+  passes a capacity-constrained geometry needs.  A model only fails to
+  compile when the *total* weight-SRAM capacity is exceeded — use
+  :func:`plan_capacity` / :meth:`MicrocodeCompiler.capacity_report` to check
+  without raising.
 
 The resulting :class:`WeightPlacement` is shared by the accelerator (to load
 and read weights) and by MATIC (to translate per-bank SRAM fault maps into
 per-layer injection masks aligned with the weight matrices).
+
+Cycle model
+-----------
+Each layer executes as *passes* over the ring: the input vector (plus the
+bias slot) streams past every PE once per pass, and in one pass each PE
+works through at most one segment out of its bank.  The layer's cycle count
+is therefore::
+
+    passes = max_pe(segments hosted by the PE)
+    cycles = passes * (fan_in + 1 + pipeline_overhead)
+
+which reduces to the historical ``ceil(out/num_pes)`` passes for an
+unspilled round-robin placement — and makes placement spill cost whole
+extra passes, because a pass is paced by the input stream, not by how many
+words the busiest PE happens to host.
 """
 
 from __future__ import annotations
@@ -30,9 +53,12 @@ from ..sram.array import WeightMemorySystem
 from ..sram.fault_map import FaultMap
 
 __all__ = [
+    "PlacementSegment",
     "NeuronPlacement",
     "LayerPlacement",
     "WeightPlacement",
+    "CapacityReport",
+    "plan_capacity",
     "LayerProgram",
     "NpuProgram",
     "MicrocodeCompiler",
@@ -40,25 +66,73 @@ __all__ = [
 
 
 @dataclass(frozen=True)
+class PlacementSegment:
+    """One contiguous SRAM address range holding part of a neuron's block.
+
+    The neuron's parameter block is ``fan_in + 1`` words (word 0 is the
+    bias, word ``1 + i`` the weight from input ``i``); this segment stores
+    block words ``[word_offset, word_offset + length)`` at bank addresses
+    ``[base_address, base_address + length)`` of PE ``pe``.
+    """
+
+    pe: int
+    base_address: int
+    word_offset: int
+    length: int
+
+    @property
+    def end_address(self) -> int:
+        return self.base_address + self.length
+
+
+@dataclass(frozen=True)
 class NeuronPlacement:
-    """Home location of one output neuron's parameters."""
+    """Home location(s) of one output neuron's parameters."""
 
     layer: int
     neuron: int
-    pe: int
-    #: SRAM address of the bias word; weights follow at base+1 .. base+fan_in
-    base_address: int
     fan_in: int
+    segments: tuple[PlacementSegment, ...]
+
+    @property
+    def pe(self) -> int:
+        """The neuron's home PE — the one hosting its bias word."""
+        return self.segments[0].pe
+
+    @property
+    def base_address(self) -> int:
+        """Bank address of the bias word (start of the first segment)."""
+        return self.segments[0].base_address
 
     @property
     def bias_address(self) -> int:
-        return self.base_address
+        return self.segments[0].base_address
+
+    @property
+    def spilled(self) -> bool:
+        """Whether the block needed more than one segment."""
+        return len(self.segments) > 1
+
+    def locate(self, word_index: int) -> tuple[int, int]:
+        """Resolve block word ``word_index`` to its ``(pe, address)`` home."""
+        if not 0 <= word_index <= self.fan_in:
+            raise IndexError("word index out of range")
+        for segment in self.segments:
+            if segment.word_offset <= word_index < segment.word_offset + segment.length:
+                return segment.pe, segment.base_address + (
+                    word_index - segment.word_offset
+                )
+        raise IndexError("placement segments do not cover the block")  # pragma: no cover
 
     def weight_address(self, input_index: int) -> int:
-        """Address of the weight from ``input_index`` to this neuron."""
+        """Address of the weight from ``input_index`` to this neuron.
+
+        For spilled neurons the word may live in a different bank than the
+        bias; use :meth:`locate` to obtain the hosting PE as well.
+        """
         if not 0 <= input_index < self.fan_in:
             raise IndexError("input index out of range")
-        return self.base_address + 1 + input_index
+        return self.locate(1 + input_index)[1]
 
 
 @dataclass
@@ -72,6 +146,38 @@ class LayerPlacement:
 
     def neuron(self, index: int) -> NeuronPlacement:
         return self.neurons[index]
+
+    def segments_on(
+        self, pe: int
+    ) -> list[tuple[NeuronPlacement, PlacementSegment]]:
+        """This layer's segments hosted by ``pe``, in neuron order."""
+        return [
+            (placement, segment)
+            for placement in self.neurons
+            for segment in placement.segments
+            if segment.pe == pe
+        ]
+
+    def passes_required(self, num_pes: int) -> int:
+        """Time-multiplexed passes the layer needs on a ``num_pes`` ring.
+
+        Each pass streams the input vector past the ring once, with every
+        PE working through at most one of its segments — so the pass count
+        is the maximum number of segments any single PE hosts (at least 1).
+        """
+        segment_counts = [0] * num_pes
+        for placement in self.neurons:
+            for segment in placement.segments:
+                segment_counts[segment.pe] += 1
+        return max(1, max(segment_counts, default=0))
+
+    @property
+    def spilled_neurons(self) -> int:
+        return sum(1 for placement in self.neurons if placement.spilled)
+
+    @property
+    def num_segments(self) -> int:
+        return sum(len(placement.segments) for placement in self.neurons)
 
 
 class WeightPlacement:
@@ -98,20 +204,71 @@ class WeightPlacement:
         ):
             layer = LayerPlacement(layer_index, fan_in, fan_out)
             for neuron in range(fan_out):
-                pe = neuron % self.num_pes
-                base = next_free[pe]
                 required = fan_in + 1  # bias + weights
-                if base + required > self.words_per_bank:
-                    raise ValueError(
-                        f"model does not fit: PE {pe} needs {base + required} words, "
-                        f"bank holds {self.words_per_bank}"
+                segments: list[PlacementSegment] = []
+                word = 0
+                pe = neuron % self.num_pes
+                probed = 0
+                while word < required:
+                    free = self.words_per_bank - next_free[pe]
+                    if free <= 0:
+                        pe = (pe + 1) % self.num_pes
+                        probed += 1
+                        if probed >= self.num_pes:
+                            used = sum(next_free)
+                            raise ValueError(
+                                f"model does not fit: needs "
+                                f"{used + (required - word)}+ words, capacity is "
+                                f"{self.num_pes * self.words_per_bank} "
+                                f"({self.num_pes} banks x {self.words_per_bank} words)"
+                            )
+                        continue
+                    probed = 0
+                    take = min(free, required - word)
+                    segments.append(
+                        PlacementSegment(pe, next_free[pe], word, take)
                     )
+                    next_free[pe] += take
+                    word += take
                 layer.neurons.append(
-                    NeuronPlacement(layer_index, neuron, pe, base, fan_in)
+                    NeuronPlacement(layer_index, neuron, fan_in, tuple(segments))
                 )
-                next_free[pe] = base + required
             self.layers.append(layer)
         self.words_used_per_pe = list(next_free)
+
+    # ---------------------------------------------------------- capacity
+
+    @property
+    def total_words_used(self) -> int:
+        return sum(self.words_used_per_pe)
+
+    @property
+    def total_capacity_words(self) -> int:
+        return self.num_pes * self.words_per_bank
+
+    @property
+    def spilled_neurons(self) -> int:
+        return sum(layer.spilled_neurons for layer in self.layers)
+
+    @property
+    def num_segments(self) -> int:
+        return sum(layer.num_segments for layer in self.layers)
+
+    def capacity_report(self) -> "CapacityReport":
+        """Capacity accounting for this (successfully allocated) placement."""
+        return CapacityReport(
+            num_pes=self.num_pes,
+            words_per_bank=self.words_per_bank,
+            total_capacity_words=self.total_capacity_words,
+            words_required=self.total_words_used,
+            fits=True,
+            words_used_per_pe=tuple(self.words_used_per_pe),
+            per_layer_words=tuple(
+                (layer.in_features + 1) * layer.out_features for layer in self.layers
+            ),
+            spilled_neurons=self.spilled_neurons,
+            num_segments=self.num_segments,
+        )
 
     # ------------------------------------------------------------ storage
 
@@ -126,17 +283,18 @@ class WeightPlacement:
             if weight_words.shape != (layer.in_features, layer.out_features):
                 raise ValueError("quantized weight shape does not match placement")
             for placement in layer.neurons:
-                bank = memory[placement.pe]
-                addresses = np.arange(
-                    placement.base_address, placement.base_address + placement.fan_in + 1
-                )
                 words = np.concatenate(
                     [
                         [bias_words[placement.neuron]],
                         weight_words[:, placement.neuron],
                     ]
                 ).astype(np.uint64)
-                bank.write(addresses, words)
+                for segment in placement.segments:
+                    addresses = np.arange(segment.base_address, segment.end_address)
+                    memory[segment.pe].write(
+                        addresses,
+                        words[segment.word_offset : segment.word_offset + segment.length],
+                    )
 
     def load_layer_words(
         self,
@@ -156,11 +314,14 @@ class WeightPlacement:
         weight_words = np.zeros((layer.in_features, layer.out_features), dtype=np.uint64)
         bias_words = np.zeros(layer.out_features, dtype=np.uint64)
         for placement in layer.neurons:
-            bank = memory[placement.pe]
-            addresses = np.arange(
-                placement.base_address, placement.base_address + placement.fan_in + 1
-            )
-            words = bank.read(addresses, voltage=voltage, temperature=temperature)
+            words = np.zeros(layer.in_features + 1, dtype=np.uint64)
+            for segment in placement.segments:
+                addresses = np.arange(segment.base_address, segment.end_address)
+                words[segment.word_offset : segment.word_offset + segment.length] = (
+                    memory[segment.pe].read(
+                        addresses, voltage=voltage, temperature=temperature
+                    )
+                )
             bias_words[placement.neuron] = words[0]
             weight_words[:, placement.neuron] = words[1:]
         return weight_words, bias_words
@@ -178,6 +339,26 @@ class WeightPlacement:
 
     # -------------------------------------------------------- fault masks
 
+    def _word_homes(self, layer: LayerPlacement) -> tuple[np.ndarray, np.ndarray]:
+        """Per-word ``(pe, address)`` coordinate matrices for one layer.
+
+        Both arrays have shape ``(fan_in + 1, out_features)``: row 0 is the
+        bias word, row ``1 + i`` the weight from input ``i``, columns are
+        indexed by neuron id (not list position, so the result is
+        independent of ``layer.neurons`` ordering).
+        """
+        words = layer.in_features + 1
+        pe_of = np.zeros((words, layer.out_features), dtype=np.intp)
+        addr_of = np.zeros((words, layer.out_features), dtype=np.intp)
+        for placement in layer.neurons:
+            for segment in placement.segments:
+                rows = slice(segment.word_offset, segment.word_offset + segment.length)
+                pe_of[rows, placement.neuron] = segment.pe
+                addr_of[rows, placement.neuron] = np.arange(
+                    segment.base_address, segment.end_address
+                )
+        return pe_of, addr_of
+
     def layer_fault_masks(
         self, fault_maps: list[FaultMap], layer_index: int, word_bits: int
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -187,7 +368,8 @@ class WeightPlacement:
         weight masks have the layer's ``(in_features, out_features)`` shape
         and the bias masks have shape ``(out_features,)``.  Applying
         ``(word & and) | or`` reproduces exactly the corruption the SRAM
-        would inflict at the profiled operating point.
+        would inflict at the profiled operating point.  Spilled neurons
+        gather each word's mask from the bank that actually hosts it.
         """
         if len(fault_maps) < self.num_pes:
             raise ValueError(
@@ -196,21 +378,19 @@ class WeightPlacement:
         full = np.uint64((1 << word_bits) - 1)
         layer = self.layers[layer_index]
 
-        # One gather resolves every neuron at once: stack the per-bank mask
-        # arrays into a (num_banks, max_words) matrix (identity-padded where a
-        # bank is shorter) and index it with the per-neuron (pe, address)
+        for placement in layer.neurons:
+            for segment in placement.segments:
+                covered = fault_maps[segment.pe].num_words
+                if segment.end_address > covered:
+                    raise IndexError(
+                        f"placement needs {segment.end_address} words in bank "
+                        f"{segment.pe}, fault map covers {covered}"
+                    )
+
+        # One gather resolves every word at once: stack the per-bank mask
+        # arrays into a (num_banks, max_words) matrix (identity-padded where
+        # a bank is shorter) and index it with the per-word (pe, address)
         # coordinates of the placement.
-        pes = np.array([p.pe for p in layer.neurons], dtype=np.intp)
-        bases = np.array([p.base_address for p in layer.neurons], dtype=np.intp)
-        neurons = np.array([p.neuron for p in layer.neurons], dtype=np.intp)
-        words_per_bank = np.array([fault_map.num_words for fault_map in fault_maps])
-        needed = bases + layer.in_features + 1
-        if pes.size and np.any(needed > words_per_bank[pes]):
-            worst = int(np.argmax(needed - words_per_bank[pes]))
-            raise IndexError(
-                f"placement needs {int(needed[worst])} words in bank {int(pes[worst])}, "
-                f"fault map covers {int(words_per_bank[pes[worst]])}"
-            )
         max_words = max(fault_map.num_words for fault_map in fault_maps)
         bank_and = np.full((len(fault_maps), max_words), full, dtype=np.uint64)
         bank_or = np.zeros((len(fault_maps), max_words), dtype=np.uint64)
@@ -219,18 +399,92 @@ class WeightPlacement:
             bank_and[index, : fault_map.num_words] = and_masks & full
             bank_or[index, : fault_map.num_words] = or_masks & full
 
-        # scatter through the neuron index rather than list position, so the
-        # result does not depend on the ordering of layer.neurons
-        bias_and = np.full(layer.out_features, full, dtype=np.uint64)
-        bias_or = np.zeros(layer.out_features, dtype=np.uint64)
-        bias_and[neurons] = bank_and[pes, bases]
-        bias_or[neurons] = bank_or[pes, bases]
-        addresses = bases[None, :] + np.arange(1, layer.in_features + 1)[:, None]
-        weight_and = np.full((layer.in_features, layer.out_features), full, dtype=np.uint64)
-        weight_or = np.zeros((layer.in_features, layer.out_features), dtype=np.uint64)
-        weight_and[:, neurons] = bank_and[pes[None, :], addresses]
-        weight_or[:, neurons] = bank_or[pes[None, :], addresses]
+        pe_of, addr_of = self._word_homes(layer)
+        bias_and = bank_and[pe_of[0], addr_of[0]]
+        bias_or = bank_or[pe_of[0], addr_of[0]]
+        weight_and = bank_and[pe_of[1:], addr_of[1:]]
+        weight_or = bank_or[pe_of[1:], addr_of[1:]]
         return weight_and, weight_or, bias_and, bias_or
+
+
+# ------------------------------------------------------------------ planning
+
+
+@dataclass(frozen=True)
+class CapacityReport:
+    """Weight-SRAM capacity accounting for one (widths, geometry) pairing."""
+
+    num_pes: int
+    words_per_bank: int
+    total_capacity_words: int
+    words_required: int
+    fits: bool
+    #: per-PE occupancy after allocation; empty when the model does not fit
+    words_used_per_pe: tuple[int, ...]
+    per_layer_words: tuple[int, ...]
+    #: neurons whose block needed more than one segment (0 when not fits)
+    spilled_neurons: int
+    #: total placement segments (== total neurons when nothing spills)
+    num_segments: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the weight-SRAM capacity the model occupies."""
+        if self.total_capacity_words == 0:
+            return float("inf")
+        return self.words_required / self.total_capacity_words
+
+    def to_text(self) -> str:
+        verdict = "fits" if self.fits else "DOES NOT FIT"
+        lines = [
+            f"{self.num_pes} PEs x {self.words_per_bank} words: "
+            f"{self.words_required}/{self.total_capacity_words} words "
+            f"({self.utilization:.1%}) — {verdict}",
+        ]
+        if self.fits:
+            lines.append(
+                f"  spilled neurons: {self.spilled_neurons}, "
+                f"segments: {self.num_segments}, "
+                f"per-PE occupancy: {list(self.words_used_per_pe)}"
+            )
+        return "\n".join(lines)
+
+
+def plan_capacity(
+    widths: tuple[int, ...] | list[int],
+    num_pes: int,
+    words_per_bank: int,
+) -> CapacityReport:
+    """Capacity planner: does a topology fit a geometry, and how tightly?
+
+    Never raises on overflow — the ``fits`` flag reports it instead.  Because
+    the allocator can split a block at any word boundary, a model fits
+    exactly when its total word requirement is within the total capacity.
+    """
+    if num_pes <= 0 or words_per_bank <= 0:
+        raise ValueError("num_pes and words_per_bank must be positive")
+    widths = tuple(int(w) for w in widths)
+    per_layer = tuple(
+        (fan_in + 1) * fan_out for fan_in, fan_out in zip(widths[:-1], widths[1:])
+    )
+    required = sum(per_layer)
+    capacity = num_pes * words_per_bank
+    if required > capacity:
+        return CapacityReport(
+            num_pes=num_pes,
+            words_per_bank=words_per_bank,
+            total_capacity_words=capacity,
+            words_required=required,
+            fits=False,
+            words_used_per_pe=(),
+            per_layer_words=per_layer,
+            spilled_neurons=0,
+            num_segments=0,
+        )
+    return WeightPlacement(widths, num_pes, words_per_bank).capacity_report()
+
+
+# ------------------------------------------------------------------ programs
 
 
 @dataclass
@@ -302,6 +556,11 @@ class MicrocodeCompiler:
         self.words_per_bank = int(words_per_bank)
         self.pipeline_overhead = int(pipeline_overhead)
 
+    def capacity_report(self, network: Network | tuple[int, ...]) -> CapacityReport:
+        """Plan whether ``network`` fits this compiler's geometry (no raise)."""
+        widths = network.widths if isinstance(network, Network) else tuple(network)
+        return plan_capacity(widths, self.num_pes, self.words_per_bank)
+
     def compile(self, network: Network, quantizer: WeightQuantizer) -> NpuProgram:
         """Produce placement, per-layer formats, and the execution schedule."""
         placement = WeightPlacement(network.widths, self.num_pes, self.words_per_bank)
@@ -310,9 +569,11 @@ class MicrocodeCompiler:
         for index, (layer, fmt) in enumerate(zip(network.layers, formats)):
             in_features = layer.in_features
             out_features = layer.out_features
-            passes = int(np.ceil(out_features / self.num_pes))
-            # each pass streams the input vector through the ring once; every
-            # cycle each active PE performs one MAC
+            # each pass streams the full input vector past the ring with at
+            # most one segment active per PE; spilled layers therefore cost
+            # whole extra passes exactly where the geometry forced extra
+            # address ranges
+            passes = placement.layers[index].passes_required(self.num_pes)
             cycles = passes * (in_features + 1 + self.pipeline_overhead)
             macs = in_features * out_features
             layers.append(

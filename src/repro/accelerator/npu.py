@@ -19,7 +19,7 @@ from ..quant.quantizer import QuantizedWeights, WeightQuantizer
 from ..sram.array import WeightMemorySystem
 from .afu import ActivationFunctionUnit
 from .microcode import MicrocodeCompiler, NpuProgram
-from .systolic import LayerExecutionStats, SystolicRing
+from .systolic import LayerExecutionStats, SystolicRing, evaluate_layer_words
 
 __all__ = ["InferenceStats", "Npu"]
 
@@ -155,3 +155,36 @@ class Npu:
             inputs, sram_voltage=sram_voltage, temperature=temperature, collect_stats=False
         )
         return outputs
+
+    def reference_forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Software evaluation of the deployed program from pristine words.
+
+        Shares the arithmetic path of the hardware ring
+        (:func:`~repro.accelerator.systolic.evaluate_layer_words`) but feeds
+        it the stored quantized words directly instead of SRAM reads, so it
+        is bit-identical to :meth:`run` under faultless SRAM — for *any*
+        chip geometry, spilled placements included.  This is the oracle the
+        geometry-invariance tests compare the hardware path against.
+        """
+        if self.program is None or self._stored_words is None:
+            raise RuntimeError("no model deployed; call deploy() first")
+        activations = self.data_format.quantize(np.asarray(inputs, dtype=float))
+        if activations.ndim == 1:
+            activations = activations.reshape(1, -1)
+        for layer_program, weight_words, bias_words in zip(
+            self.program.layers,
+            self._stored_words.weight_words,
+            self._stored_words.bias_words,
+        ):
+            word_matrix = np.zeros(
+                (layer_program.out_features, layer_program.in_features + 1),
+                dtype=np.uint64,
+            )
+            word_matrix[:, 0] = bias_words
+            word_matrix[:, 1:] = weight_words.T
+            pre_activation = evaluate_layer_words(
+                activations, word_matrix, layer_program, self.data_format
+            )
+            activations = self.afu.apply(layer_program.activation, pre_activation)
+            activations = self.data_format.quantize(activations)
+        return activations

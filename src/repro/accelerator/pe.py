@@ -11,6 +11,13 @@ that matter for accuracy studies:
   multiply, and
 * accumulation happens in a wide accumulator that does not overflow for the
   layer sizes the paper evaluates (modelled as exact accumulation).
+
+:meth:`ProcessingElement.fetch_neuron_parameters` and
+:meth:`ProcessingElement.mac_batch` are the behavioural definition of one
+PE; the systolic ring (:mod:`repro.accelerator.systolic`) performs the
+equivalent work vectorized across the whole layer, reading through
+``weight_bank`` and crediting :attr:`ProcessingElement.mac_count` for the
+weight words each PE hosts.
 """
 
 from __future__ import annotations
@@ -62,61 +69,6 @@ class ProcessingElement:
         bias = float(bias_format.word_to_float(words[:1])[0])
         weights = weight_format.word_to_float(words[1:])
         return weights, bias
-
-    def fetch_neuron_block(
-        self,
-        base_addresses: np.ndarray,
-        fan_in: int,
-        weight_format: FixedPointFormat,
-        bias_format: FixedPointFormat,
-        voltage: float,
-        temperature: float = 25.0,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Read several neurons' parameter rows with one SRAM access pass.
-
-        ``base_addresses`` holds the bias address of each neuron assigned to
-        this PE; every neuron occupies ``fan_in + 1`` consecutive words.  All
-        words are fetched in a single vectorized read at the requested
-        operating point (the read-disturb outcome per cell depends only on
-        that cell's margin, so batching reads is bit-identical to fetching
-        neurons one at a time).  Returns ``(weights, biases)`` with shapes
-        ``(num_neurons, fan_in)`` and ``(num_neurons,)``.
-        """
-        base_addresses = np.asarray(base_addresses, dtype=int)
-        offsets = np.arange(fan_in + 1)
-        addresses = (base_addresses[:, None] + offsets).reshape(-1)
-        words = self.weight_bank.read(
-            addresses, voltage=voltage, temperature=temperature
-        ).reshape(base_addresses.size, fan_in + 1)
-        biases = bias_format.word_to_float(words[:, 0])
-        weights = weight_format.word_to_float(words[:, 1:])
-        return weights, biases
-
-    def mac_matrix(
-        self,
-        inputs: np.ndarray,
-        weights: np.ndarray,
-        biases: np.ndarray,
-    ) -> np.ndarray:
-        """Inner products of a batch against several weight rows at once.
-
-        ``inputs`` has shape ``(batch, fan_in)``, ``weights``
-        ``(num_neurons, fan_in)`` and ``biases`` ``(num_neurons,)``; returns
-        the pre-activation accumulators, shape ``(batch, num_neurons)``.
-        Operand-identical to calling :meth:`mac_batch` per row (the batched
-        matmul may reduce in a different order, so sums can differ at ulp
-        level on some BLAS builds).
-        """
-        inputs = np.asarray(inputs, dtype=float)
-        if inputs.ndim == 1:
-            inputs = inputs.reshape(1, -1)
-        if inputs.shape[1] != weights.shape[1]:
-            raise ValueError(
-                f"fan-in mismatch: inputs have {inputs.shape[1]}, weights {weights.shape[1]}"
-            )
-        quantized_inputs = self.data_format.quantize(inputs)
-        self.mac_count += inputs.shape[0] * inputs.shape[1] * weights.shape[0]
-        return quantized_inputs @ weights.T + biases
 
     def mac_batch(
         self,

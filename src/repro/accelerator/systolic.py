@@ -1,15 +1,21 @@
 """1-D systolic ring of processing elements.
 
-SNNAC's eight PEs form a one-dimensional systolic ring: input activations
-stream past the PEs, each PE accumulating the inner product for the output
-neuron currently assigned to it.  Layers wider than the ring are
+SNNAC's PEs form a one-dimensional systolic ring: input activations stream
+past the PEs, each PE accumulating inner products for the output neurons
+whose weights live in its bank.  Layers wider than the ring are
 time-multiplexed over multiple passes, with partial results collected by an
-accumulator.
+accumulator; a *spilled* neuron (its parameter block split across several
+address segments by a capacity-constrained placement) contributes one
+partial inner product per segment, accumulated exactly like an extra pass.
 
 The model executes the same arithmetic pass structure (and counts the same
 work) without simulating individual pipeline registers; accuracy-relevant
-behaviour — which SRAM words are read, in which order, with what fixed-point
-semantics — matches the real dataflow.
+behaviour — which SRAM words are read, with what fixed-point semantics —
+matches the real dataflow.  The layer's MAC reduction is performed once over
+the assembled full weight matrix, so the computed floats are **independent
+of the chip geometry**: any ``(num_pes, words_per_bank)`` that fits the
+model produces bit-identical outputs from the same stored words (see
+:func:`evaluate_layer_words`, which the NPU's software reference path shares).
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ from ..sram.array import WeightMemorySystem
 from .microcode import LayerProgram, WeightPlacement
 from .pe import ProcessingElement
 
-__all__ = ["LayerExecutionStats", "SystolicRing"]
+__all__ = ["LayerExecutionStats", "SystolicRing", "evaluate_layer_words"]
 
 
 @dataclass
@@ -36,6 +42,34 @@ class LayerExecutionStats:
     cycles: int
     macs: int
     sram_reads: int
+
+
+def evaluate_layer_words(
+    inputs: np.ndarray,
+    word_matrix: np.ndarray,
+    program: LayerProgram,
+    data_format: FixedPointFormat,
+) -> np.ndarray:
+    """Pre-activation outputs of one layer from its raw SRAM word image.
+
+    ``word_matrix`` has shape ``(out_features, fan_in + 1)`` — column 0 is
+    the bias word, column ``1 + i`` the weight word from input ``i``.  This
+    is the single arithmetic path shared by the hardware ring (which fills
+    the matrix from per-PE SRAM reads) and the NPU's software reference
+    (which fills it from the pristine quantized words), so the two are
+    bit-identical by construction whenever the words agree.
+    """
+    inputs = np.asarray(inputs, dtype=float)
+    if inputs.ndim == 1:
+        inputs = inputs.reshape(1, -1)
+    if inputs.shape[1] != program.in_features:
+        raise ValueError(
+            f"layer expects {program.in_features} inputs, got {inputs.shape[1]}"
+        )
+    biases = program.quantization.bias_format.word_to_float(word_matrix[:, 0])
+    weights = program.quantization.weight_format.word_to_float(word_matrix[:, 1:])
+    quantized_inputs = data_format.quantize(inputs)
+    return quantized_inputs @ weights.T + biases
 
 
 class SystolicRing:
@@ -96,39 +130,48 @@ class SystolicRing:
             )
         layer_placement = placement.layers[program.layer_index]
         batch = inputs.shape[0]
-        outputs = np.zeros((batch, program.out_features), dtype=float)
         reads_before = sum(bank.read_count for bank in self.memory)
 
-        weight_format = program.quantization.weight_format
-        bias_format = program.quantization.bias_format
-
-        # One SRAM read pass and one matmul per PE: all neurons a PE hosts
-        # for this layer are fetched and evaluated together.  Read-disturb
+        # One SRAM read pass per PE: every segment the PE hosts for this
+        # layer is fetched in a single vectorized read (read-disturb
         # corruption is per-cell and order-independent, so the fetched words
-        # (and the persisted corruption) are bit-identical to walking the
-        # ring neuron by neuron; the MAC sums share the same operands but a
-        # BLAS gemm may reduce in a different order than per-neuron gemv, so
-        # accumulations agree only to the last ulp on some builds.  The
-        # cycle accounting below still reflects the pass structure.
+        # — and the persisted corruption — are bit-identical to walking the
+        # ring segment by segment).  The fetched segments are scattered into
+        # the layer's full (out, fan_in + 1) word image and reduced once, so
+        # the float outputs do not depend on which PE hosts which words.
+        word_matrix = np.zeros(
+            (program.out_features, program.in_features + 1), dtype=np.uint64
+        )
         for pe_index, pe in enumerate(self.pes):
-            assigned = [
-                neuron for neuron in layer_placement.neurons if neuron.pe == pe_index
-            ]
+            assigned = layer_placement.segments_on(pe_index)
             if not assigned:
                 continue
-            base_addresses = np.array([neuron.base_address for neuron in assigned])
-            weights, biases = pe.fetch_neuron_block(
-                base_addresses,
-                program.in_features,
-                weight_format,
-                bias_format,
-                voltage=voltage,
-                temperature=temperature,
+            addresses = np.concatenate(
+                [
+                    np.arange(segment.base_address, segment.end_address)
+                    for _, segment in assigned
+                ]
             )
-            columns = [neuron.neuron for neuron in assigned]
-            outputs[:, columns] = pe.mac_matrix(inputs, weights, biases)
+            words = pe.weight_bank.read(
+                addresses, voltage=voltage, temperature=temperature
+            )
+            cursor = 0
+            hosted_weight_words = 0
+            for placement_entry, segment in assigned:
+                word_matrix[
+                    placement_entry.neuron,
+                    segment.word_offset : segment.word_offset + segment.length,
+                ] = words[cursor : cursor + segment.length]
+                cursor += segment.length
+                # the bias word (block word 0) is not a MAC operand
+                hosted_weight_words += segment.length - (
+                    1 if segment.word_offset == 0 else 0
+                )
+            pe.mac_count += batch * hosted_weight_words
 
-        passes = int(np.ceil(program.out_features / self.num_pes))
+        outputs = evaluate_layer_words(inputs, word_matrix, program, self.data_format)
+
+        passes = layer_placement.passes_required(self.num_pes)
         sram_reads = sum(bank.read_count for bank in self.memory) - reads_before
         cycles = passes * (program.in_features + 1 + self.pipeline_overhead)
         stats = LayerExecutionStats(

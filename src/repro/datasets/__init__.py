@@ -15,7 +15,17 @@ from .inversek2j import (
     generate_inversek2j,
     inverse_kinematics,
 )
-from .registry import BENCHMARKS, BenchmarkSpec, get_benchmark, list_benchmarks
+from .procedural import generate_lowrank, generate_teacher
+from .registry import (
+    BENCHMARKS,
+    PROCEDURAL_FAMILIES,
+    PROCEDURAL_PREFIX,
+    BenchmarkSpec,
+    ProceduralSpec,
+    get_benchmark,
+    list_benchmarks,
+    register_benchmark,
+)
 
 __all__ = [
     "generate_digits",
@@ -31,8 +41,14 @@ __all__ = [
     "generate_blackscholes",
     "black_scholes_price",
     "norm_cdf",
+    "generate_teacher",
+    "generate_lowrank",
     "BENCHMARKS",
+    "PROCEDURAL_FAMILIES",
+    "PROCEDURAL_PREFIX",
     "BenchmarkSpec",
+    "ProceduralSpec",
     "get_benchmark",
     "list_benchmarks",
+    "register_benchmark",
 ]

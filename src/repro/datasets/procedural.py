@@ -1,0 +1,155 @@
+"""Seeded synthetic workload generators for the procedural benchmark catalog.
+
+The paper evaluates SNNAC on four fixed applications; the procedural catalog
+(:mod:`repro.datasets.registry`, ``synth/...`` names) adds parametric
+workloads whose *shape* — input width, depth, fan-in, output width — is the
+experimental variable, so geometry-scaling studies can co-vary the model with
+the chip (PE count, bank capacity) instead of being pinned to Table I.
+
+Two generator families cover the catalog:
+
+* :func:`generate_teacher` — supervised regression against a fixed, seeded
+  random *teacher* network.  The teacher is intentionally small and
+  independent of the student topology: the task difficulty stays comparable
+  while the student's shape (and therefore its SRAM footprint) sweeps across
+  orders of magnitude.
+* :func:`generate_lowrank` — reconstruction data for autoencoder shapes:
+  inputs mix a low-dimensional latent through a fixed seeded dictionary, and
+  the targets are the inputs themselves.
+
+All values stay inside ``[0, 1]`` so the fixed-point datapath (and the
+worst-case impact of a stuck bit) behaves like it does for the paper's
+benchmarks.  Generation is a pure function of ``(parameters, seed)``: the
+same call reproduces the same dataset bit-for-bit, which is what lets
+:func:`repro.experiments.common.prepare_benchmark` memoize procedural
+workloads content-addressed like the paper ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.data import Dataset
+
+__all__ = ["generate_teacher", "generate_lowrank"]
+
+
+def _teacher_targets(
+    inputs: np.ndarray,
+    out_features: int,
+    rng: np.random.Generator,
+    teacher_widths: tuple[int, ...],
+) -> np.ndarray:
+    """Evaluate a fixed random tanh/sigmoid teacher network on ``inputs``.
+
+    The teacher weights are drawn from ``rng`` (so they are part of the
+    dataset seed) with 1/sqrt(fan_in) scaling; the sigmoid output head keeps
+    every target in (0, 1).
+    """
+    activations = inputs
+    widths = (inputs.shape[1], *teacher_widths, out_features)
+    for index, (fan_in, fan_out) in enumerate(zip(widths[:-1], widths[1:])):
+        weights = rng.normal(0.0, 1.0 / np.sqrt(fan_in), size=(fan_in, fan_out))
+        bias = rng.normal(0.0, 0.1, size=fan_out)
+        pre = activations @ weights + bias
+        is_output = index == len(widths) - 2
+        activations = 1.0 / (1.0 + np.exp(-pre)) if is_output else np.tanh(pre)
+    return activations
+
+
+def generate_teacher(
+    num_samples: int = 512,
+    seed: int | None = 0,
+    in_features: int = 32,
+    out_features: int = 8,
+    teacher_widths: tuple[int, ...] = (16,),
+    noise_level: float = 0.01,
+    name: str = "synth/teacher",
+) -> Dataset:
+    """Seeded teacher-network regression dataset (values in [0, 1]).
+
+    Parameters
+    ----------
+    num_samples:
+        Number of rows.
+    seed:
+        Generator seed; the teacher weights and the inputs both derive from
+        it, so a ``(parameters, seed)`` pair is fully reproducible.
+    in_features / out_features:
+        Input and target widths — these match the student topology the
+        catalog pairs the dataset with.
+    teacher_widths:
+        Hidden widths of the teacher network (independent of the student).
+    noise_level:
+        Standard deviation of the additive label noise.
+    """
+    if num_samples <= 0:
+        raise ValueError("num_samples must be positive")
+    if in_features <= 0 or out_features <= 0:
+        raise ValueError("in_features and out_features must be positive")
+    rng = np.random.default_rng(seed)
+    # the teacher is sampled first so that changing num_samples extends the
+    # dataset without redefining the function being learned
+    teacher_rng = np.random.default_rng(rng.integers(0, 2**63))
+    inputs = rng.uniform(0.0, 1.0, size=(num_samples, in_features))
+    targets = _teacher_targets(inputs, out_features, teacher_rng, tuple(teacher_widths))
+    if noise_level > 0:
+        targets = targets + rng.normal(0.0, noise_level, size=targets.shape)
+    targets = np.clip(targets, 0.0, 1.0)
+    return Dataset(
+        inputs=inputs,
+        targets=targets,
+        name=name,
+        metadata={
+            "family": "teacher",
+            "in_features": int(in_features),
+            "out_features": int(out_features),
+            "teacher_widths": tuple(int(w) for w in teacher_widths),
+            "noise_level": float(noise_level),
+        },
+    )
+
+
+def generate_lowrank(
+    num_samples: int = 512,
+    seed: int | None = 0,
+    width: int = 64,
+    rank: int = 8,
+    noise_level: float = 0.01,
+    name: str = "synth/lowrank",
+) -> Dataset:
+    """Low-rank reconstruction dataset for autoencoder shapes.
+
+    Inputs are ``rank``-dimensional uniform latents mixed through a fixed
+    seeded non-negative dictionary (columns normalized so values stay in
+    [0, 1]); the targets are the inputs themselves, so an ``N-B-N``
+    bottleneck model with ``B >= rank`` can in principle reconstruct
+    perfectly up to the injected noise.
+    """
+    if num_samples <= 0:
+        raise ValueError("num_samples must be positive")
+    if width <= 0 or rank <= 0:
+        raise ValueError("width and rank must be positive")
+    if rank > width:
+        raise ValueError("rank cannot exceed width")
+    rng = np.random.default_rng(seed)
+    dictionary = np.random.default_rng(rng.integers(0, 2**63)).uniform(
+        0.0, 1.0, size=(rank, width)
+    )
+    dictionary /= dictionary.sum(axis=0, keepdims=True)
+    latents = rng.uniform(0.0, 1.0, size=(num_samples, rank))
+    inputs = latents @ dictionary
+    if noise_level > 0:
+        inputs = inputs + rng.normal(0.0, noise_level, size=inputs.shape)
+    inputs = np.clip(inputs, 0.0, 1.0)
+    return Dataset(
+        inputs=inputs,
+        targets=inputs.copy(),
+        name=name,
+        metadata={
+            "family": "lowrank",
+            "width": int(width),
+            "rank": int(rank),
+            "noise_level": float(noise_level),
+        },
+    )

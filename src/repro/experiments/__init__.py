@@ -12,6 +12,10 @@
 | Fig. 12  | :func:`repro.experiments.fig12_temperature.run_fig12` |
 | Table III| :func:`repro.experiments.table3_comparison.run_table3` |
 
+Beyond the paper's artifacts, :func:`repro.experiments.scaling_geometry.run_scaling_geometry`
+sweeps chip geometry (PE count × bank capacity) against the workload
+catalog — the paper benchmarks plus procedural ``synth/...`` specs.
+
 All drivers execute through the sweep engine
 (:mod:`repro.experiments.engine`): grids expand into independent seeded
 tasks that run serially or on a multiprocessing pool with identical results,
@@ -78,6 +82,8 @@ _DRIVER_EXPORTS = {
     "PAPER_TABLE2": "table2_energy_scenarios",
     "run_table3": "table3_comparison",
     "PRIOR_WORK_ROWS": "table3_comparison",
+    "run_scaling_geometry": "scaling_geometry",
+    "DEFAULT_WORKLOADS": "scaling_geometry",
 }
 
 #: Driver submodules, also reachable as package attributes once requested.
@@ -141,4 +147,6 @@ __all__ = [
     "PAPER_TABLE2",
     "run_table3",
     "PRIOR_WORK_ROWS",
+    "run_scaling_geometry",
+    "DEFAULT_WORKLOADS",
 ]

@@ -37,12 +37,18 @@ Maintenance
 -----------
 :meth:`ArtifactCache.disk_stats` reports per-kind entry counts and byte
 sizes, :meth:`ArtifactCache.clear` empties the store, and
-:meth:`ArtifactCache.prune` evicts artifacts by age.  The same operations
-are exposed on the command line::
+:meth:`ArtifactCache.prune` evicts artifacts by age.  With a byte budget
+configured (the ``size_budget_bytes`` field or ``$REPRO_CACHE_BUDGET``,
+e.g. ``512M``), :meth:`ArtifactCache.put` opportunistically runs an LRU
+eviction sweep (:meth:`ArtifactCache.evict_to_budget`) every
+``eviction_check_interval`` stores, deleting least-recently-used artifacts
+(mtime order — refreshed on every store and disk hit) until the store fits
+the budget again.  The same operations are exposed on the command line::
 
     python -m repro.experiments.cache stats
     python -m repro.experiments.cache clear
     python -m repro.experiments.cache prune --older-than 7d
+    python -m repro.experiments.cache evict --budget 512M
 """
 
 from __future__ import annotations
@@ -54,6 +60,7 @@ import pickle
 import threading
 import tempfile
 import time
+import warnings
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -71,6 +78,7 @@ __all__ = [
     "set_default_cache",
     "shard_result_key",
     "parse_age",
+    "parse_size",
     "main",
 ]
 
@@ -78,8 +86,12 @@ __all__ = [
 #: quantization rounding, dataset generators, ...) so old artifacts miss.
 SCHEMA_VERSION = 1
 
+#: Sentinel distinguishing "not in the memory layer" from a cached None.
+_MISS = object()
+
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_DISABLE = "REPRO_CACHE_DISABLE"
+_ENV_BUDGET = "REPRO_CACHE_BUDGET"
 
 
 def _hash_bytes(hasher: "hashlib._Hash", tag: bytes, payload: bytes) -> None:
@@ -161,11 +173,22 @@ class ArtifactCache:
         runs, which is the reference behaviour for equivalence tests.
     memory_items:
         Maximum number of artifacts kept in the in-process layer.
+    size_budget_bytes:
+        Optional on-disk byte budget.  ``None`` resolves
+        ``$REPRO_CACHE_BUDGET`` (a size like ``512M``; unset means no
+        budget).  With a budget, :meth:`put` opportunistically runs an LRU
+        eviction sweep every :attr:`eviction_check_interval` stores.
+    eviction_check_interval:
+        Stores between opportunistic eviction sweeps (each sweep walks the
+        store's directory tree, so sweeping on every put would make bulk
+        stores quadratic in the entry count).
     """
 
     root: Path | str | None = None
     enabled: bool = True
     memory_items: int = 64
+    size_budget_bytes: int | None = None
+    eviction_check_interval: int = 16
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
@@ -173,6 +196,7 @@ class ArtifactCache:
             env = os.environ.get(_ENV_DIR, "").strip()
             self.root = Path(env) if env else Path.home() / ".cache" / "repro-matic"
         self.root = Path(self.root)
+        self._stores_since_sweep = 0
         self._memory: dict[str, Any] = {}
         # the in-process layer is shared across ThreadBackend workers (the
         # cache rides inside their shared payload), so its check-then-evict
@@ -191,11 +215,19 @@ class ArtifactCache:
             return None
         digest = cache_digest(key)
         memory_key = f"{kind}/{digest}"
-        with self._memory_lock:
-            if memory_key in self._memory:
-                self.stats.hits += 1
-                return self._memory[memory_key]
         path = self._path(kind, digest)
+        with self._memory_lock:
+            memory_value = self._memory.get(memory_key, _MISS)
+        if memory_value is not _MISS:
+            # refresh the disk mtime on memory hits too: mtime is the LRU
+            # signal for prune/evict_to_budget, and an artifact served from
+            # the memory layer is every bit as hot as one read from disk
+            try:
+                os.utime(path)
+            except OSError:
+                pass
+            self.stats.hits += 1
+            return memory_value
         try:
             with open(path, "rb") as handle:
                 value = pickle.load(handle)
@@ -244,6 +276,7 @@ class ArtifactCache:
             return False
         self._remember(f"{kind}/{digest}", value)
         self.stats.stores += 1
+        self._maybe_evict(just_written=path)
         return True
 
     def get_or_create(self, kind: str, key: Mapping[str, Any], factory: Callable[[], Any]) -> Any:
@@ -361,14 +394,111 @@ class ArtifactCache:
         )
         return removed + tmp_removed, freed + tmp_freed
 
+    def _resolve_budget(self) -> int | None:
+        """The effective byte budget: the field, else ``$REPRO_CACHE_BUDGET``.
+
+        A malformed environment value warns (once per value) instead of
+        silently disabling eviction — an operator who set a budget expects
+        the store to stay bounded, not to fill the disk without a trace.
+        """
+        if self.size_budget_bytes is not None:
+            return int(self.size_budget_bytes)
+        env = os.environ.get(_ENV_BUDGET, "").strip()
+        if not env:
+            return None
+        try:
+            return parse_size(env)
+        except ValueError:
+            global _WARNED_BAD_BUDGET
+            if _WARNED_BAD_BUDGET != env:
+                _WARNED_BAD_BUDGET = env
+                warnings.warn(
+                    f"ignoring invalid ${_ENV_BUDGET}={env!r} (expected a size "
+                    f"like 1048576, 512K, or 2G); cache eviction is disabled",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return None
+
+    def _maybe_evict(self, just_written: Path) -> None:
+        """Opportunistic LRU sweep after a store (when a budget is set).
+
+        Runs every :attr:`eviction_check_interval`-th store so bulk stores
+        stay linear; the artifact just written is protected even if a slow
+        filesystem gives it a stale mtime.
+        """
+        if self._resolve_budget() is None:
+            return
+        self._stores_since_sweep += 1
+        if self._stores_since_sweep < max(1, int(self.eviction_check_interval)):
+            return
+        self._stores_since_sweep = 0
+        try:
+            self.evict_to_budget(protect=(just_written,))
+        except (OSError, ValueError):  # pragma: no cover - defensive
+            pass
+
+    def evict_to_budget(
+        self,
+        budget_bytes: int | None = None,
+        kind: str | None = None,
+        protect: tuple[Path, ...] = (),
+    ) -> tuple[int, int]:
+        """LRU eviction: delete oldest artifacts until the store fits a budget.
+
+        Recency is file mtime, which :meth:`put` sets and every hit —
+        memory-layer hits included — refreshes, so artifacts that sweeps
+        keep recalling survive and cold ones (including orphaned ``.tmp``
+        files) go first.  Returns ``(entries_removed, bytes_freed)``; a
+        store already within budget removes nothing.  ``kind`` restricts
+        both the accounting and the eviction to one artifact kind.
+        """
+        budget = budget_bytes if budget_bytes is not None else self._resolve_budget()
+        if budget is None:
+            raise ValueError("no byte budget configured (size_budget_bytes "
+                             f"or ${_ENV_BUDGET})")
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        entries: list[tuple[float, int, str, Path]] = []
+        for pattern in ("*.pkl", "*.tmp"):
+            for kind_name, path in self._artifact_files(kind, pattern=pattern):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, kind_name, path))
+        total = sum(size for _, size, _, _ in entries)
+        if total <= budget:
+            return 0, 0
+        protected = {Path(p) for p in protect}
+        # oldest first; path as tie-break for deterministic eviction order
+        entries.sort(key=lambda entry: (entry[0], str(entry[3])))
+        removed = 0
+        freed = 0
+        for _, size, kind_name, path in entries:
+            if total <= budget:
+                break
+            if path in protected:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            with self._memory_lock:
+                self._memory.pop(f"{kind_name}/{path.stem}", None)
+            total -= size
+            removed += 1
+            freed += size
+        return removed, freed
+
     def prune(self, older_than_seconds: float, kind: str | None = None) -> tuple[int, int]:
         """Evict artifacts not modified within the window; returns (entries, bytes).
 
-        Age is judged by file mtime, which is refreshed on every store and on
-        every *disk* hit (hits served from the in-process memory layer do not
-        touch the file, so a long-lived process refreshes each artifact once).
-        Orphaned ``.tmp`` files past the cutoff are swept as well (in-flight
-        writers are protected by their recent mtime).
+        Age is judged by file mtime, which is refreshed on every store and
+        on every hit (memory-layer hits refresh it too, so a hot artifact's
+        file always looks recent).  Orphaned ``.tmp`` files past the cutoff
+        are swept as well (in-flight writers are protected by their recent
+        mtime).
         """
         if not math.isfinite(older_than_seconds) or older_than_seconds < 0:
             raise ValueError("older_than_seconds must be a non-negative finite number")
@@ -391,6 +521,7 @@ class ArtifactCache:
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._memory_lock = threading.Lock()
+        self._stores_since_sweep = 0
 
 
 # ------------------------------------------------------------- shard merges
@@ -435,6 +566,9 @@ def collect_shard_results(
     return found, missing
 
 
+#: Last invalid $REPRO_CACHE_BUDGET value warned about (warn once per value).
+_WARNED_BAD_BUDGET: str | None = None
+
 _DEFAULT_CACHE: ArtifactCache | None = None
 
 
@@ -473,6 +607,29 @@ def parse_age(text: str) -> float:
     return seconds
 
 
+_SIZE_UNITS = {"k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+
+
+def parse_size(text: str) -> int:
+    """Parse a byte size like ``"1048576"``, ``"512K"``, ``"1.5g"``, or ``"2GB"``."""
+    text = str(text).strip().lower()
+    if text.endswith("b"):
+        text = text[:-1]
+    if not text:
+        raise ValueError("empty size")
+    unit = 1
+    if text[-1] in _SIZE_UNITS:
+        unit = _SIZE_UNITS[text[-1]]
+        text = text[:-1]
+    try:
+        size = float(text) * unit
+    except ValueError as error:
+        raise ValueError(f"invalid size {text!r}") from error
+    if not math.isfinite(size) or size < 0:
+        raise ValueError("size must be a non-negative finite number")
+    return int(size)
+
+
 def _format_bytes(count: int) -> str:
     size = float(count)
     for suffix in ("B", "KiB", "MiB", "GiB"):
@@ -507,6 +664,17 @@ def main(argv: list[str] | None = None) -> int:
         help="evict artifacts older than AGE (e.g. 3600, 45s, 12h, 7d)",
     )
     prune_parser.add_argument("--kind", default=None, help="only this artifact kind")
+    evict_parser = commands.add_parser(
+        "evict", help="LRU-evict oldest artifacts down to a byte budget"
+    )
+    evict_parser.add_argument(
+        "--budget",
+        default=None,
+        metavar="SIZE",
+        help="byte budget to evict down to (e.g. 1048576, 512K, 2G; "
+        f"default: ${_ENV_BUDGET})",
+    )
+    evict_parser.add_argument("--kind", default=None, help="only this artifact kind")
     args = parser.parse_args(argv)
 
     cache = ArtifactCache(root=args.root)
@@ -531,6 +699,18 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as error:
             parser.error(str(error))
         print(f"removed {removed} entries, freed {_format_bytes(freed)}")
+    elif args.command == "evict":
+        budget = None
+        if args.budget is not None:
+            try:
+                budget = parse_size(args.budget)
+            except ValueError as error:
+                parser.error(f"invalid --budget value: {error}")
+        try:
+            removed, freed = cache.evict_to_budget(budget, kind=args.kind)
+        except ValueError as error:
+            parser.error(str(error))
+        print(f"evicted {removed} entries, freed {_format_bytes(freed)}")
     else:
         try:
             age = parse_age(args.older_than)

@@ -45,7 +45,7 @@ and shares one execution vocabulary, wired through
 from __future__ import annotations
 
 import argparse
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from importlib import import_module
 from importlib.machinery import ModuleSpec
 from typing import Any, Callable
@@ -101,6 +101,11 @@ _BASELINE_TRAINING = {
     "bscholes": {"learning_rate": 0.3, "epochs": 60, "weight_decay": 1.0e-4},
 }
 
+#: Default baseline settings for procedural ``synth/`` workloads: fewer
+#: epochs than the paper benchmarks (the synthetic tasks converge quickly,
+#: and deep/wide specs make each epoch much more expensive).
+_SYNTH_TRAINING = {"learning_rate": 0.2, "epochs": 30, "weight_decay": 1.0e-4}
+
 
 def dataset_key(dataset: Dataset) -> dict:
     """Content key of a dataset (used to address trained-weight artifacts)."""
@@ -126,22 +131,27 @@ def prepare_benchmark(
     across processes and sessions.
     """
     cache = cache if cache is not None else default_cache()
-    settings = dict(
-        _BASELINE_TRAINING.get(
-            name, {"learning_rate": 0.2, "epochs": 50, "weight_decay": 2.0e-4}
-        )
+    spec = get_benchmark(name)
+    fallback = (
+        _SYNTH_TRAINING
+        if spec.name.startswith("synth/")
+        else {"learning_rate": 0.2, "epochs": 50, "weight_decay": 2.0e-4}
     )
+    settings = dict(_BASELINE_TRAINING.get(name, fallback))
     if epochs is not None:
         settings["epochs"] = epochs
     key = {
         "benchmark": str(name).lower(),
+        # the full spec parameterization, so procedural workloads (whose
+        # name alone does not pin the generator arguments or topology)
+        # memoize content-addressed exactly like the paper benchmarks
+        "spec": spec.spec_key(),
         "num_samples": num_samples if num_samples is not None else "default",
         "seed": int(seed),
         "settings": settings,
     }
 
     def build() -> PreparedBenchmark:
-        spec = get_benchmark(name)
         dataset = spec.generate(num_samples=num_samples, seed=seed)
         train, test = spec.split(dataset, seed=seed + 1)
         baseline = spec.build_network(seed=seed + 2)
@@ -242,9 +252,23 @@ def default_flow(
     )
 
 
-def make_chip(seed: int = 11, words_per_bank: int = 512) -> Snnac:
-    """A fresh SNNAC chip instance (its own sampled SRAM variation)."""
-    return Snnac(SnnacConfig(seed=seed, words_per_bank=words_per_bank))
+def make_chip(
+    seed: int = 11,
+    words_per_bank: int = 512,
+    num_pes: int = 8,
+    config: SnnacConfig | None = None,
+) -> Snnac:
+    """A fresh SNNAC chip instance (its own sampled SRAM variation).
+
+    ``config`` overrides the individual geometry arguments entirely (the
+    seed is still applied on top so sweep workers can derive per-task chips
+    from one shared configuration).
+    """
+    if config is not None:
+        config = replace(config, seed=seed)
+    else:
+        config = SnnacConfig(seed=seed, words_per_bank=words_per_bank, num_pes=num_pes)
+    return Snnac(config)
 
 
 def format_table(

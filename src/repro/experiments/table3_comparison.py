@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..accelerator.energy import NOMINAL_OPERATING_POINT, OperatingPoint
-from ..accelerator.soc import CHIP_CHARACTERISTICS
 from ..quant.quantizer import WeightQuantizer
 from .cache import ArtifactCache, default_cache
 from .common import (
@@ -146,7 +145,10 @@ def _table3_row_worker(shared: dict, task: SweepTask) -> AcceleratorRow:
     matic_point: OperatingPoint = shared["matic_point"]
     chip = make_chip(seed=shared["seed"] + 10)
     chip.deploy(prepared.baseline, WeightQuantizer(total_bits=16, frac_bits=13))
-    process = CHIP_CHARACTERISTICS["technology"].split()[-2] + " nm"
+    # characteristics derive from this chip's own config, so a non-default
+    # geometry can never silently report the fabricated 8-PE numbers
+    characteristics = chip.characteristics()
+    process = characteristics["technology"].split()[-2] + " nm"
 
     if task.mode == "nominal":
         low_power_baseline = OperatingPoint(
@@ -155,7 +157,7 @@ def _table3_row_worker(shared: dict, task: SweepTask) -> AcceleratorRow:
         return AcceleratorRow(
             name="SNNAC (this reproduction, nominal)",
             process=process,
-            area_mm2=CHIP_CHARACTERISTICS["core_area_mm2"],
+            area_mm2=characteristics["core_area_mm2"],
             dnn_type="Fully-connected",
             power_mw=chip.energy_model.power(low_power_baseline) * 1e3,
             frequency_mhz=matic_point.frequency / 1e6,
@@ -166,7 +168,7 @@ def _table3_row_worker(shared: dict, task: SweepTask) -> AcceleratorRow:
     return AcceleratorRow(
         name="SNNAC + MATIC (this reproduction)",
         process=process,
-        area_mm2=CHIP_CHARACTERISTICS["core_area_mm2"],
+        area_mm2=characteristics["core_area_mm2"],
         dnn_type="Fully-connected",
         power_mw=chip.energy_model.power(matic_point) * 1e3,
         frequency_mhz=matic_point.frequency / 1e6,

@@ -7,7 +7,20 @@ import time
 
 import pytest
 
-from repro.experiments.cache import ArtifactCache, main, parse_age
+from repro.experiments.cache import (
+    ArtifactCache,
+    cache_digest,
+    main,
+    parse_age,
+    parse_size,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_budget(monkeypatch):
+    """Host environments may export a cache budget; these tests must not
+    inherit it (several assert the *absence* of eviction)."""
+    monkeypatch.delenv("REPRO_CACHE_BUDGET", raising=False)
 
 
 @pytest.fixture()
@@ -220,3 +233,165 @@ class TestCli:
         )
         assert result.returncode == 0
         assert "total: 3 entries" in result.stdout
+
+
+class TestSizeBudgetEviction:
+    """LRU size-budget eviction (opportunistic on put + explicit sweep)."""
+
+    def _sizes(self, cache):
+        return cache.disk_stats()["total_bytes"]
+
+    def test_evict_to_budget_removes_oldest_first(self, cache):
+        for run in range(6):
+            cache.put("trained-weights", {"run": run}, list(range(50)))
+            path = cache._path("trained-weights", cache_digest({"run": run}))
+            os.utime(path, (time.time() - 1000 + run,) * 2)
+        total = self._sizes(cache)
+        per_entry = total // 6
+        removed, freed = cache.evict_to_budget(total - per_entry)
+        assert removed >= 1 and freed > 0
+        assert self._sizes(cache) <= total - per_entry
+        # the oldest entries went; the newest survives
+        assert cache.get("trained-weights", {"run": 0}) is None
+        assert cache.get("trained-weights", {"run": 5}) is not None
+
+    def test_evict_noop_within_budget(self, cache):
+        populate(cache)
+        assert cache.evict_to_budget(10**9) == (0, 0)
+        assert cache.get("trained-weights", {"run": 1}) is not None
+
+    def test_evict_requires_a_budget(self, cache):
+        with pytest.raises(ValueError, match="budget"):
+            cache.evict_to_budget()
+
+    def test_evict_rejects_negative_budget(self, cache):
+        with pytest.raises(ValueError):
+            cache.evict_to_budget(-1)
+
+    def test_evict_sweeps_orphaned_temp_files(self, cache):
+        populate(cache)
+        orphan = cache.root / "trained-weights" / "orphan.tmp"
+        orphan.write_bytes(b"x" * 4096)
+        os.utime(orphan, (time.time() - 1000, time.time() - 1000))
+        cache.evict_to_budget(self._sizes(cache) - 4096)
+        assert not orphan.exists()
+
+    def test_opportunistic_eviction_on_put(self, tmp_path):
+        # each artifact pickles to ~1 KiB, so the 2000-byte budget is blown
+        # after the second store and every sweep must actually evict
+        cache = ArtifactCache(
+            root=tmp_path / "budgeted",
+            size_budget_bytes=2000,
+            eviction_check_interval=1,
+        )
+        for run in range(12):
+            assert cache.put("trained-weights", {"run": run}, b"x" * 1024)
+            time.sleep(0.01)
+        stats = cache.disk_stats()
+        # the store stays near the budget instead of the ~12 KiB it wrote,
+        # and the most recent artifact always survives its own sweep
+        assert stats["total_entries"] < 12
+        assert stats["total_bytes"] <= 2000 + 1100  # budget + the protected put
+        assert cache.get("trained-weights", {"run": 0}) is None
+        assert cache.get("trained-weights", {"run": 11}) is not None
+
+    def test_eviction_interval_batches_the_sweeps(self, tmp_path):
+        cache = ArtifactCache(
+            root=tmp_path / "batched",
+            size_budget_bytes=2000,
+            eviction_check_interval=4,
+        )
+        for run in range(3):
+            cache.put("trained-weights", {"run": run}, b"x" * 1024)
+        # three stores exceed the budget but the 4th-store sweep hasn't run
+        assert cache.disk_stats()["total_entries"] == 3
+        cache.put("trained-weights", {"run": 3}, b"x" * 1024)
+        assert cache.disk_stats()["total_entries"] < 4
+
+    def test_no_budget_means_no_eviction(self, cache):
+        for run in range(20):
+            cache.put("trained-weights", {"run": run}, b"x" * 1024)
+        assert cache.disk_stats()["total_entries"] == 20
+
+    def test_env_budget_is_honoured(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_BUDGET", "2K")
+        cache = ArtifactCache(root=tmp_path / "envbudget", eviction_check_interval=1)
+        for run in range(8):
+            cache.put("trained-weights", {"run": run}, b"x" * 1024)
+            time.sleep(0.01)
+        stats = cache.disk_stats()
+        assert stats["total_entries"] < 8  # eviction really ran
+        assert stats["total_bytes"] <= 2048 + 1100
+
+    def test_malformed_env_budget_warns_and_disables_eviction(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.experiments.cache as cache_module
+
+        monkeypatch.setenv("REPRO_CACHE_BUDGET", "512 megs")
+        monkeypatch.setattr(cache_module, "_WARNED_BAD_BUDGET", None)
+        cache = ArtifactCache(root=tmp_path / "badbudget", eviction_check_interval=1)
+        with pytest.warns(RuntimeWarning, match="REPRO_CACHE_BUDGET"):
+            for run in range(4):
+                cache.put("trained-weights", {"run": run}, b"x" * 1024)
+        assert cache.disk_stats()["total_entries"] == 4  # nothing evicted
+
+    def test_memory_layer_hits_keep_artifacts_hot(self, tmp_path):
+        # an artifact recalled only through the in-process memory layer must
+        # still look recently-used to the LRU sweep (mtime refresh on hit)
+        cache = ArtifactCache(root=tmp_path / "hot")
+        cache.put("trained-weights", {"run": "hot"}, b"h" * 512)
+        hot_path = cache._path("trained-weights", cache_digest({"run": "hot"}))
+        os.utime(hot_path, (time.time() - 5000,) * 2)  # stale on disk...
+        assert cache.get("trained-weights", {"run": "hot"}) is not None  # ...hot hit
+        cache.put("trained-weights", {"run": "cold"}, b"c" * 512)
+        cold_path = cache._path("trained-weights", cache_digest({"run": "cold"}))
+        os.utime(cold_path, (time.time() - 1000,) * 2)
+        cache.clear_memory()
+        cache.evict_to_budget(cache.disk_stats()["total_bytes"] - 256)
+        assert hot_path.exists()  # the memory-hit refresh saved it
+        assert not cold_path.exists()
+
+    def test_kind_scoped_eviction(self, cache):
+        populate(cache)
+        old = time.time() - 1000
+        for _, path in cache._artifact_files("fault-map"):
+            os.utime(path, (old, old))
+        cache.evict_to_budget(0, kind="fault-map")
+        assert cache.get("fault-map", {"bank": 0}) is None
+        assert cache.get("trained-weights", {"run": 1}) is not None
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("100", 100), ("1k", 1024), ("512K", 512 * 1024), ("2MB", 2 * 1024**2),
+         ("1.5g", int(1.5 * 1024**3))],
+    )
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "x", "-5", "1q", "nan"])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_size(text)
+
+
+class TestEvictCli:
+    def test_evict_command(self, cache, capsys):
+        populate(cache)
+        old = time.time() - 1000
+        for _, path in cache._artifact_files():
+            os.utime(path, (old, old))
+        assert main(["--root", str(cache.root), "evict", "--budget", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted" in out
+        assert cache.disk_stats()["total_entries"] == 0
+
+    def test_evict_requires_budget_or_env(self, cache, capsys):
+        with pytest.raises(SystemExit):
+            main(["--root", str(cache.root), "evict"])
+
+    def test_evict_rejects_bad_budget(self, cache):
+        with pytest.raises(SystemExit):
+            main(["--root", str(cache.root), "evict", "--budget", "wat"])

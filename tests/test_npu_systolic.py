@@ -44,39 +44,15 @@ class TestProcessingElement:
         with pytest.raises(ValueError):
             pe.mac_batch(np.zeros((2, 4)), np.zeros(5), 0.0)
 
-    def test_mac_matrix_matches_per_neuron_mac_batch(self):
-        """The batched gemm path must agree with the per-neuron gemv path
-        (same operands; accumulation order may differ only at ulp level)."""
-        pe = ProcessingElement(0, SramBank(8, 16, seed=0))
-        rng = np.random.default_rng(3)
-        inputs = rng.random((6, 10))
-        weights = rng.normal(size=(5, 10))
-        biases = rng.normal(size=5)
-        batched = pe.mac_matrix(inputs, weights, biases)
-        per_neuron = np.column_stack(
-            [pe.mac_batch(inputs, weights[n], biases[n]) for n in range(5)]
-        )
-        np.testing.assert_allclose(batched, per_neuron, rtol=1e-12, atol=1e-12)
-        assert batched.shape == (6, 5)
-
-    def test_mac_matrix_fan_in_mismatch(self):
-        pe = ProcessingElement(0, SramBank(8, 16, seed=0))
-        with pytest.raises(ValueError):
-            pe.mac_matrix(np.zeros((2, 4)), np.zeros((3, 5)), np.zeros(3))
-
-    def test_fetch_neuron_block_matches_single_fetches(self):
-        bank = SramBank(32, 16, seed=5)
-        fmt = FixedPointFormat(16, 13)
-        pe = ProcessingElement(0, bank)
-        rng = np.random.default_rng(1)
-        bank.write_all(fmt.float_to_word(rng.uniform(-1, 1, size=32)))
-        block_w, block_b = pe.fetch_neuron_block(
-            np.array([0, 8, 16]), 7, fmt, fmt, voltage=0.9
-        )
-        for row, base in enumerate((0, 8, 16)):
-            single_w, single_b = pe.fetch_neuron_parameters(base, 7, fmt, fmt, voltage=0.9)
-            np.testing.assert_array_equal(block_w[row], single_w)
-            assert block_b[row] == single_b
+    def test_ring_mac_counts_match_hosted_weight_words(self, memory, quantizer):
+        """The ring credits each PE's mac_count for the weight words it
+        hosts — summed over PEs that is the layer-wise MAC total."""
+        network = Network("10-12-3", seed=3)
+        npu = Npu(memory)
+        npu.deploy(network, quantizer)
+        npu.run(np.zeros((4, 10)), sram_voltage=0.9)
+        total = sum(pe.mac_count for pe in npu.ring.pes)
+        assert total == npu.program.total_macs_per_inference * 4
 
     def test_fetch_neuron_parameters_decodes_words(self):
         bank = SramBank(16, 16, seed=0)
