@@ -56,6 +56,7 @@ __all__ = [
     "PlacementSegment",
     "NeuronPlacement",
     "LayerPlacement",
+    "LayerGatherPlan",
     "WeightPlacement",
     "CapacityReport",
     "plan_capacity",
@@ -180,6 +181,44 @@ class LayerPlacement:
         return sum(len(placement.segments) for placement in self.neurons)
 
 
+@dataclass(frozen=True)
+class LayerGatherPlan:
+    """Compiled per-PE access plan for one layer's SRAM word image.
+
+    The layer's parameters live in a flat ``(out_features, fan_in + 1)``
+    word image (column 0 the bias, column ``1 + i`` the weight from input
+    ``i``).  For every PE hosting at least one word the plan precomputes:
+
+    * ``addresses[k]`` — the PE's hosted bank addresses, every segment
+      concatenated into one vector (the read order the ring used when it
+      walked segments one by one; read-disturb corruption is per-cell and
+      order-independent, so order only fixes determinism, not semantics),
+    * ``scatter[k]`` — the matching flat indices into the word image, and
+    * ``weight_words[k]`` — how many of those words are MAC operands
+      (hosted words minus the bias words, which are add-only).
+
+    Compiled once per placement and layer, so executing a layer is one
+    vectorized bank read plus one fancy-indexed scatter per hosting PE —
+    no per-segment Python loop at any geometry, spilled placements included.
+    """
+
+    layer_index: int
+    in_features: int
+    out_features: int
+    #: PEs hosting at least one of the layer's words, ascending
+    pe_indices: tuple[int, ...]
+    addresses: tuple[np.ndarray, ...]
+    scatter: tuple[np.ndarray, ...]
+    weight_words: tuple[int, ...]
+    #: time-multiplexed ring passes (== LayerPlacement.passes_required for
+    #: any ring at least as wide as the placement)
+    passes: int
+
+    def per_pe(self):
+        """Iterate ``(pe, addresses, scatter, weight_words)`` tuples."""
+        return zip(self.pe_indices, self.addresses, self.scatter, self.weight_words)
+
+
 class WeightPlacement:
     """Mapping between network parameters and weight-SRAM locations."""
 
@@ -195,6 +234,7 @@ class WeightPlacement:
         self.num_pes = int(num_pes)
         self.words_per_bank = int(words_per_bank)
         self.layers: list[LayerPlacement] = []
+        self._gather_plans: dict[int, LayerGatherPlan] = {}
         self._allocate()
 
     def _allocate(self) -> None:
@@ -270,31 +310,115 @@ class WeightPlacement:
             num_segments=self.num_segments,
         )
 
+    # --------------------------------------------------------- gather plans
+
+    def gather_plan(self, layer_index: int) -> LayerGatherPlan:
+        """The compiled :class:`LayerGatherPlan` for one layer (memoized).
+
+        A placement is immutable after allocation, so plans are compiled
+        lazily on first use and cached for the placement's lifetime.
+        """
+        plan = self._gather_plans.get(layer_index)
+        if plan is None:
+            layer = self.layers[layer_index]
+            width = layer.in_features + 1
+            per_pe_addresses: dict[int, list[np.ndarray]] = {}
+            per_pe_scatter: dict[int, list[np.ndarray]] = {}
+            per_pe_weight_words: dict[int, int] = {}
+            for placement in layer.neurons:
+                for segment in placement.segments:
+                    per_pe_addresses.setdefault(segment.pe, []).append(
+                        np.arange(segment.base_address, segment.end_address, dtype=np.intp)
+                    )
+                    start = placement.neuron * width + segment.word_offset
+                    per_pe_scatter.setdefault(segment.pe, []).append(
+                        np.arange(start, start + segment.length, dtype=np.intp)
+                    )
+                    # the bias word (block word 0) is not a MAC operand
+                    per_pe_weight_words[segment.pe] = per_pe_weight_words.get(
+                        segment.pe, 0
+                    ) + segment.length - (1 if segment.word_offset == 0 else 0)
+            pe_indices = tuple(sorted(per_pe_addresses))
+            addresses = tuple(
+                np.concatenate(per_pe_addresses[pe]) for pe in pe_indices
+            )
+            scatter = tuple(np.concatenate(per_pe_scatter[pe]) for pe in pe_indices)
+            weight_words = tuple(per_pe_weight_words[pe] for pe in pe_indices)
+            for array in (*addresses, *scatter):
+                array.flags.writeable = False
+            # work-accounting invariant: per-PE hosted weight words sum to the
+            # layer's MAC operand count, spilled placements included — so
+            # crediting each PE for its hosted words reconciles exactly with
+            # LayerExecutionStats.macs (in_features * out_features * batch)
+            assert sum(weight_words) == layer.in_features * layer.out_features, (
+                f"gather plan for layer {layer_index} hosts {sum(weight_words)} "
+                f"weight words, expected {layer.in_features * layer.out_features}"
+            )
+            plan = LayerGatherPlan(
+                layer_index=layer_index,
+                in_features=layer.in_features,
+                out_features=layer.out_features,
+                pe_indices=pe_indices,
+                addresses=addresses,
+                scatter=scatter,
+                weight_words=weight_words,
+                passes=layer.passes_required(self.num_pes),
+            )
+            self._gather_plans[layer_index] = plan
+        return plan
+
+    def _layer_word_image(
+        self, layer: LayerPlacement, weight_words: np.ndarray, bias_words: np.ndarray
+    ) -> np.ndarray:
+        """Flat ``(out * (fan_in + 1),)`` word image from quantized arrays."""
+        image = np.empty((layer.out_features, layer.in_features + 1), dtype=np.uint64)
+        image[:, 0] = bias_words
+        image[:, 1:] = np.asarray(weight_words, dtype=np.uint64).T
+        return image.reshape(-1)
+
     # ------------------------------------------------------------ storage
 
-    def store(self, memory: WeightMemorySystem, quantized: QuantizedWeights) -> None:
-        """Write a quantized model into the per-PE weight banks."""
+    def compile_write_plan(
+        self, memory: WeightMemorySystem, quantized: QuantizedWeights
+    ) -> list[tuple[int, np.ndarray, np.ndarray]]:
+        """Compile a full-model store into one ``(pe, addresses, words)`` per bank.
+
+        The words are already masked to the bank word length, and the
+        address/word arrays are frozen — callers may retain the plan and
+        replay it (the NPU's ``refresh_weights`` does exactly that through
+        :meth:`~repro.sram.array.SramBank.write_planned`).  :meth:`store` is
+        this plan executed once; both therefore write the same addresses and
+        values as the historical per-neuron, per-segment walk.
+        """
         self._check_memory(memory)
         if len(quantized.weight_words) != len(self.layers):
             raise ValueError("quantized model has a different number of layers")
-        for layer, weight_words, bias_words in zip(
-            self.layers, quantized.weight_words, quantized.bias_words
+        per_bank_addresses: dict[int, list[np.ndarray]] = {}
+        per_bank_words: dict[int, list[np.ndarray]] = {}
+        for layer_index, (layer, weight_words, bias_words) in enumerate(
+            zip(self.layers, quantized.weight_words, quantized.bias_words)
         ):
             if weight_words.shape != (layer.in_features, layer.out_features):
                 raise ValueError("quantized weight shape does not match placement")
-            for placement in layer.neurons:
-                words = np.concatenate(
-                    [
-                        [bias_words[placement.neuron]],
-                        weight_words[:, placement.neuron],
-                    ]
-                ).astype(np.uint64)
-                for segment in placement.segments:
-                    addresses = np.arange(segment.base_address, segment.end_address)
-                    memory[segment.pe].write(
-                        addresses,
-                        words[segment.word_offset : segment.word_offset + segment.length],
-                    )
+            flat = self._layer_word_image(layer, weight_words, bias_words)
+            for pe, addresses, scatter, _ in self.gather_plan(layer_index).per_pe():
+                per_bank_addresses.setdefault(pe, []).append(addresses)
+                per_bank_words.setdefault(pe, []).append(flat[scatter])
+        plan = []
+        for pe in sorted(per_bank_addresses):
+            addresses = np.concatenate(per_bank_addresses[pe])
+            words = np.concatenate(per_bank_words[pe]) & np.uint64(
+                memory[pe].word_mask
+            )
+            addresses.flags.writeable = False
+            words.flags.writeable = False
+            plan.append((pe, addresses, words))
+        return plan
+
+    def store(self, memory: WeightMemorySystem, quantized: QuantizedWeights) -> None:
+        """Write a quantized model into the per-PE weight banks."""
+        for pe, addresses, words in self.compile_write_plan(memory, quantized):
+            memory[pe].write(addresses, words)
 
     def load_layer_words(
         self,
@@ -311,19 +435,15 @@ class WeightPlacement:
         """
         self._check_memory(memory)
         layer = self.layers[layer_index]
-        weight_words = np.zeros((layer.in_features, layer.out_features), dtype=np.uint64)
-        bias_words = np.zeros(layer.out_features, dtype=np.uint64)
-        for placement in layer.neurons:
-            words = np.zeros(layer.in_features + 1, dtype=np.uint64)
-            for segment in placement.segments:
-                addresses = np.arange(segment.base_address, segment.end_address)
-                words[segment.word_offset : segment.word_offset + segment.length] = (
-                    memory[segment.pe].read(
-                        addresses, voltage=voltage, temperature=temperature
-                    )
-                )
-            bias_words[placement.neuron] = words[0]
-            weight_words[:, placement.neuron] = words[1:]
+        width = layer.in_features + 1
+        flat = np.zeros(layer.out_features * width, dtype=np.uint64)
+        for pe, addresses, scatter, _ in self.gather_plan(layer_index).per_pe():
+            flat[scatter] = memory[pe].read(
+                addresses, voltage=voltage, temperature=temperature
+            )
+        image = flat.reshape(layer.out_features, width)
+        bias_words = image[:, 0].copy()
+        weight_words = np.ascontiguousarray(image[:, 1:].T)
         return weight_words, bias_words
 
     def _check_memory(self, memory: WeightMemorySystem) -> None:

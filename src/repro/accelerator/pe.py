@@ -16,8 +16,11 @@ that matter for accuracy studies:
 :meth:`ProcessingElement.mac_batch` are the behavioural definition of one
 PE; the systolic ring (:mod:`repro.accelerator.systolic`) performs the
 equivalent work vectorized across the whole layer, reading through
-``weight_bank`` and crediting :attr:`ProcessingElement.mac_count` for the
-weight words each PE hosts.
+``weight_bank`` with the placement's compiled gather plan
+(:class:`~repro.accelerator.microcode.LayerGatherPlan`) and crediting
+:attr:`ProcessingElement.mac_count` for the weight words each PE hosts —
+the per-PE counts sum to ``in_features * out_features * batch`` for every
+layer, spilled placements included (the plan asserts it at compile time).
 """
 
 from __future__ import annotations

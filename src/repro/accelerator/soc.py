@@ -267,6 +267,41 @@ class Snnac:
         outputs, _ = self.run_inference(inputs)
         return outputs
 
+    def run_voltage_sweep(
+        self, inputs: np.ndarray, sram_voltages
+    ) -> list[tuple[np.ndarray, InferenceStats]]:
+        """Run one refreshed inference batch at each SRAM rail voltage.
+
+        The batched equivalent of programming the SRAM regulator to each
+        voltage in turn, refreshing the deployed weights, and calling
+        :meth:`run_inference` — each requested voltage is programmed through
+        the regulator (quantized to its step, clamped to its range) and each
+        measurement sees exactly the corruption its own operating point
+        inflicts (supply noise and ambient temperature from the current
+        environment included), but the NPU is free to order the points so
+        that ones with identical corruption masks share decoded weight
+        images (:meth:`~repro.accelerator.npu.Npu.run_sweep`).  The
+        regulator is left programmed at the last requested voltage.  Results
+        are in ``sram_voltages`` order.
+        """
+        # program every point through the regulator so its quantization and
+        # clamping apply exactly as in sequential operation; the rail ends
+        # at the last requested voltage
+        programmed = [
+            self.sram_regulator.set_voltage(float(v)) for v in sram_voltages
+        ]
+        self.mcu.wake("voltage sweep")
+        noise = self.environment.supply_noise
+        results = self.npu.run_sweep(
+            inputs,
+            [v + noise for v in programmed],
+            temperature=self.environment.temperature,
+        )
+        for _, stats in results:
+            self.mcu.record_inference(stats.batch_size)
+        self.mcu.sleep()
+        return results
+
     def refresh_weights(self) -> None:
         """Rewrite the deployed model into SRAM (used when changing operating points)."""
         self.npu.refresh_weights()

@@ -29,7 +29,13 @@ from ..sram.array import WeightMemorySystem
 from .microcode import LayerProgram, WeightPlacement
 from .pe import ProcessingElement
 
-__all__ = ["LayerExecutionStats", "SystolicRing", "evaluate_layer_words"]
+__all__ = [
+    "LayerExecutionStats",
+    "SystolicRing",
+    "decode_layer_words",
+    "evaluate_decoded",
+    "evaluate_layer_words",
+]
 
 
 @dataclass
@@ -44,6 +50,47 @@ class LayerExecutionStats:
     sram_reads: int
 
 
+def decode_layer_words(
+    word_matrix: np.ndarray, program: LayerProgram
+) -> tuple[np.ndarray, np.ndarray]:
+    """Decode a layer's raw SRAM word image into float ``(biases, weights)``.
+
+    ``word_matrix`` has shape ``(out_features, fan_in + 1)`` — column 0 is
+    the bias word, column ``1 + i`` the weight word from input ``i``.  The
+    decode is the ``word_to_float`` cost the NPU memoizes per content epoch
+    (:class:`~repro.accelerator.npu.Npu`), so it lives in its own function
+    the memo can wrap.
+    """
+    biases = program.quantization.bias_format.word_to_float(word_matrix[:, 0])
+    weights = program.quantization.weight_format.word_to_float(word_matrix[:, 1:])
+    return biases, weights
+
+
+def evaluate_decoded(
+    inputs: np.ndarray,
+    biases: np.ndarray,
+    weights: np.ndarray,
+    data_format: FixedPointFormat,
+    inputs_quantized: bool = False,
+) -> np.ndarray:
+    """Pre-activation outputs from an already-decoded float weight image.
+
+    ``inputs_quantized=True`` promises the inputs already sit on the data
+    format's grid (quantization is idempotent, so this only skips a
+    redundant re-quantization — the NPU quantizes activations at the layer
+    boundaries already).
+    """
+    inputs = np.asarray(inputs, dtype=float)
+    if inputs.ndim == 1:
+        inputs = inputs.reshape(1, -1)
+    if inputs.shape[1] != weights.shape[1]:
+        raise ValueError(
+            f"layer expects {weights.shape[1]} inputs, got {inputs.shape[1]}"
+        )
+    quantized_inputs = inputs if inputs_quantized else data_format.quantize(inputs)
+    return quantized_inputs @ weights.T + biases
+
+
 def evaluate_layer_words(
     inputs: np.ndarray,
     word_matrix: np.ndarray,
@@ -52,12 +99,12 @@ def evaluate_layer_words(
 ) -> np.ndarray:
     """Pre-activation outputs of one layer from its raw SRAM word image.
 
-    ``word_matrix`` has shape ``(out_features, fan_in + 1)`` — column 0 is
-    the bias word, column ``1 + i`` the weight word from input ``i``.  This
-    is the single arithmetic path shared by the hardware ring (which fills
-    the matrix from per-PE SRAM reads) and the NPU's software reference
+    This is the single arithmetic path shared by the hardware ring (which
+    fills the matrix from per-PE SRAM reads) and the NPU's software reference
     (which fills it from the pristine quantized words), so the two are
-    bit-identical by construction whenever the words agree.
+    bit-identical by construction whenever the words agree.  Composed of
+    :func:`decode_layer_words` and :func:`evaluate_decoded` so the NPU can
+    memoize the decode while keeping this oracle intact.
     """
     inputs = np.asarray(inputs, dtype=float)
     if inputs.ndim == 1:
@@ -66,10 +113,8 @@ def evaluate_layer_words(
         raise ValueError(
             f"layer expects {program.in_features} inputs, got {inputs.shape[1]}"
         )
-    biases = program.quantization.bias_format.word_to_float(word_matrix[:, 0])
-    weights = program.quantization.weight_format.word_to_float(word_matrix[:, 1:])
-    quantized_inputs = data_format.quantize(inputs)
-    return quantized_inputs @ weights.T + biases
+    biases, weights = decode_layer_words(word_matrix, program)
+    return evaluate_decoded(inputs, biases, weights, data_format)
 
 
 class SystolicRing:
@@ -113,6 +158,8 @@ class SystolicRing:
         placement: WeightPlacement,
         voltage: float,
         temperature: float = 25.0,
+        decoder=None,
+        inputs_quantized: bool = False,
     ) -> tuple[np.ndarray, LayerExecutionStats]:
         """Execute one layer on a batch of inputs.
 
@@ -120,6 +167,12 @@ class SystolicRing:
         plus execution statistics.  Weight words are fetched from the per-PE
         SRAM banks at the requested operating point, so voltage overscaling
         corrupts exactly the weights the fault map predicts.
+
+        ``decoder`` optionally replaces the raw ``word_to_float`` decode: a
+        callable ``decoder(program, word_matrix, epochs) -> (biases,
+        weights)`` where ``epochs`` are the hosting banks' content epochs
+        *after* the fetch (the NPU passes its memoizing decoder here; the
+        default decodes unconditionally).
         """
         inputs = np.asarray(inputs, dtype=float)
         if inputs.ndim == 1:
@@ -128,50 +181,41 @@ class SystolicRing:
             raise ValueError(
                 f"layer expects {program.in_features} inputs, got {inputs.shape[1]}"
             )
-        layer_placement = placement.layers[program.layer_index]
         batch = inputs.shape[0]
         reads_before = sum(bank.read_count for bank in self.memory)
 
-        # One SRAM read pass per PE: every segment the PE hosts for this
-        # layer is fetched in a single vectorized read (read-disturb
-        # corruption is per-cell and order-independent, so the fetched words
-        # — and the persisted corruption — are bit-identical to walking the
-        # ring segment by segment).  The fetched segments are scattered into
-        # the layer's full (out, fan_in + 1) word image and reduced once, so
-        # the float outputs do not depend on which PE hosts which words.
-        word_matrix = np.zeros(
-            (program.out_features, program.in_features + 1), dtype=np.uint64
+        # Plan-compiled fetch: one vectorized SRAM read plus one fancy-indexed
+        # scatter per hosting PE (read-disturb corruption is per-cell and
+        # order-independent, so the fetched words — and the persisted
+        # corruption — are bit-identical to walking the ring segment by
+        # segment).  The scatter fills the layer's full (out, fan_in + 1)
+        # word image, which is reduced once, so the float outputs do not
+        # depend on which PE hosts which words.
+        plan = placement.gather_plan(program.layer_index)
+        flat = np.zeros(
+            program.out_features * (program.in_features + 1), dtype=np.uint64
         )
-        for pe_index, pe in enumerate(self.pes):
-            assigned = layer_placement.segments_on(pe_index)
-            if not assigned:
-                continue
-            addresses = np.concatenate(
-                [
-                    np.arange(segment.base_address, segment.end_address)
-                    for _, segment in assigned
-                ]
+        for pe_index, addresses, scatter, weight_words in plan.per_pe():
+            pe = self.pes[pe_index]
+            flat[scatter] = pe.weight_bank.read_planned(
+                addresses, voltage, temperature
             )
-            words = pe.weight_bank.read(
-                addresses, voltage=voltage, temperature=temperature
-            )
-            cursor = 0
-            hosted_weight_words = 0
-            for placement_entry, segment in assigned:
-                word_matrix[
-                    placement_entry.neuron,
-                    segment.word_offset : segment.word_offset + segment.length,
-                ] = words[cursor : cursor + segment.length]
-                cursor += segment.length
-                # the bias word (block word 0) is not a MAC operand
-                hosted_weight_words += segment.length - (
-                    1 if segment.word_offset == 0 else 0
-                )
-            pe.mac_count += batch * hosted_weight_words
+            pe.mac_count += batch * weight_words
+        word_matrix = flat.reshape(program.out_features, program.in_features + 1)
 
-        outputs = evaluate_layer_words(inputs, word_matrix, program, self.data_format)
+        epochs = tuple(
+            self.pes[pe_index].weight_bank.content_epoch
+            for pe_index in plan.pe_indices
+        )
+        if decoder is not None:
+            biases, weights = decoder(program, word_matrix, epochs)
+        else:
+            biases, weights = decode_layer_words(word_matrix, program)
+        outputs = evaluate_decoded(
+            inputs, biases, weights, self.data_format, inputs_quantized=inputs_quantized
+        )
 
-        passes = layer_placement.passes_required(self.num_pes)
+        passes = plan.passes
         sram_reads = sum(bank.read_count for bank in self.memory) - reads_before
         cycles = passes * (program.in_features + 1 + self.pipeline_overhead)
         stats = LayerExecutionStats(

@@ -87,7 +87,15 @@ def _fig9a_point_worker(shared: dict, task: SweepTask) -> Fig9aPoint:
     voltage = float(task.voltage)
     report = SramProfiler().profile_bank(bank, voltage, shared["temperature"])
     predicted = float(bank.variation_model.failure_probability(voltage))
-    word_rate = len(report.fault_map.faulty_addresses) / bank.num_words
+    # word-level incidence straight off the bank's operating-point-resident
+    # corruption masks (already cached by the profiling reads); for the
+    # default all-zeros/all-ones backgrounds the profiled map records
+    # exactly these cells, so the two representations cannot disagree
+    and_masks, or_masks = bank.corruption_masks(voltage, shared["temperature"])
+    faulty_words = np.count_nonzero(
+        (and_masks != np.uint64(bank.word_mask)) | (or_masks != np.uint64(0))
+    )
+    word_rate = int(faulty_words) / bank.num_words
     return Fig9aPoint(
         voltage=voltage,
         measured_rate=report.fault_rate,

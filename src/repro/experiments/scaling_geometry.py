@@ -204,8 +204,9 @@ def _scaling_point_worker(shared: dict, task: SweepTask) -> GeometryPoint:
         initial_network=prepared.baseline,
         profile=False,
     )
-    chip.refresh_weights()
-    outputs, stats = chip.run_inference(prepared.test.inputs)
+    # single-point batched sweep: refreshes the deployed weights, then runs
+    # at the target rail voltage through the plan-compiled read path
+    outputs, stats = chip.run_voltage_sweep(prepared.test.inputs, [voltage])[0]
     program = deployment.program
     return GeometryPoint(
         workload=task.benchmark,

@@ -169,7 +169,10 @@ def run_table1(
 
     When no sweep is handed in, the underlying Fig. 10 grid runs through the
     sweep engine — with a warm artifact cache the shared baselines and
-    memory-adaptive trainings are all recalled rather than retrained.
+    memory-adaptive trainings are all recalled rather than retrained, and
+    each benchmark's naive column is one batched
+    :meth:`~repro.accelerator.npu.Npu.run_sweep` over the whole voltage axis
+    (see :func:`~repro.experiments.fig10_error_vs_voltage.run_fig10`).
     """
     if sweep is None:
         sweep = run_fig10(

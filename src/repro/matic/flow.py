@@ -82,10 +82,25 @@ class MaticDeployment:
         previous operating point does not leak into the measurement.
         """
         voltage = self.target_voltage if sram_voltage is None else float(sram_voltage)
-        self.chip.refresh_weights()
-        self.chip.sram_regulator.set_voltage(voltage)
-        outputs, _ = self.chip.run_inference(inputs)
-        return outputs
+        return self.run_sweep(inputs, [voltage])[0]
+
+    def run_sweep(
+        self, inputs: np.ndarray, sram_voltages=None
+    ) -> list[np.ndarray]:
+        """Measure the deployed model at each SRAM voltage (default: target).
+
+        Each point is an independent measurement — weights are refreshed
+        before every run, exactly as a sequence of :meth:`run_at` calls — but
+        executed through the chip's batched sweep primitive
+        (:meth:`~repro.accelerator.soc.Snnac.run_voltage_sweep`), which
+        shares decoded weight images between operating points whose
+        corruption masks are identical.  Returns the output batches in
+        ``sram_voltages`` order.
+        """
+        if sram_voltages is None:
+            sram_voltages = [self.target_voltage]
+        results = self.chip.run_voltage_sweep(inputs, sram_voltages)
+        return [outputs for outputs, _ in results]
 
 
 class MaticFlow:
@@ -195,7 +210,7 @@ class MaticFlow:
             "word_bits": int(bank.word_bits),
             "voltage": float(voltage),
             "temperature": float(temperature),
-            "patterns": profiler._patterns_for(bank),
+            "patterns": profiler.patterns_for(bank),
             "profiler": profiler.describe(),
         }
 

@@ -10,7 +10,7 @@ from .bitcell import (
     GaussianVminModel,
 )
 from .bitops import pack_bits, popcount, unpack_words
-from .fault_map import BitFault, FaultMap
+from .fault_map import BitFault, FaultMap, masks_from_arrays
 from .profiler import ProfileReport, SramProfiler
 from .regulator import VoltageRegulator
 from .variation import (
@@ -32,6 +32,7 @@ __all__ = [
     "EmpiricalVminModel",
     "BitFault",
     "FaultMap",
+    "masks_from_arrays",
     "pack_bits",
     "popcount",
     "unpack_words",

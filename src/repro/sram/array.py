@@ -12,18 +12,41 @@ around:
 Access-time failures are out of scope, exactly as in the paper ("read
 failures ... are distinct from bit-line access-time failures, which can be
 corrected with ample timing margin").
+
+Operating-point-resident read path
+----------------------------------
+Storage is word-resident: the bank keeps its contents as a ``uint64`` word
+vector, and for every distinct ``(voltage, temperature)`` operating point it
+caches the word-level AND/OR corruption masks derived from the sampled cell
+population (the same derivation :meth:`SramBank.fault_map_at` exposes as a
+:class:`~repro.sram.fault_map.FaultMap`).  A read is then a single
+``(words & and_mask) | or_mask`` over the addressed words, with the
+persistent corruption written back in the same operation — no per-read
+bit unpack/compare/repack round-trip.  The mask cache is invalidated when
+the cell population changes (:attr:`SramBank.cells` assignment or
+:meth:`SramBank.resample_cells`); writes never invalidate it because the
+masks depend only on cell physics, not on stored contents.  Content changes
+are tracked by :attr:`SramBank.content_epoch`, which bumps on every write or
+corrupting read that actually changes stored words — consumers (the NPU's
+decoded-weight memoization) use it to skip re-decoding unchanged words.
 """
 
 from __future__ import annotations
+
+import hashlib
 
 import numpy as np
 
 from . import calibration
 from .bitcell import BitcellPopulation, BitcellVariationModel, EmpiricalVminModel
-from .bitops import pack_bits, unpack_words
-from .fault_map import BitFault, FaultMap
+from .bitops import popcount, unpack_words
+from .fault_map import BitFault, FaultMap, masks_from_arrays
 
 __all__ = ["SramBank", "WeightMemorySystem"]
+
+#: Retain masks for at most this many distinct operating points per bank
+#: (a temperature-chamber walk visits many points; old ones age out FIFO).
+_POINT_CACHE_LIMIT = 64
 
 
 class SramBank:
@@ -65,12 +88,64 @@ class SramBank:
         rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
         model = variation_model if variation_model is not None else EmpiricalVminModel()
         self.variation_model = model
-        self.cells: BitcellPopulation = model.sample(self.num_words, self.word_bits, rng)
-        #: stored bit values, shape (num_words, word_bits), LSB at index 0
-        self.data_bits = np.zeros((self.num_words, self.word_bits), dtype=np.uint8)
+        self._cells: BitcellPopulation = model.sample(self.num_words, self.word_bits, rng)
+        #: stored contents, one uint64 word per address (word-resident storage)
+        self._words = np.zeros(self.num_words, dtype=np.uint64)
         #: counters useful for energy accounting and tests
         self.read_count = 0
         self.write_count = 0
+        #: bumped whenever stored words actually change (write or corrupting
+        #: read); lets consumers cheaply detect "contents unchanged"
+        self.content_epoch = 0
+        # per-(voltage, temperature) corruption masks + content digests
+        self._point_masks: dict[tuple[float, float], tuple[np.ndarray, np.ndarray]] = {}
+        self._point_digests: dict[tuple[float, float], bytes] = {}
+
+    # ---------------------------------------------------------- population
+
+    @property
+    def cells(self) -> BitcellPopulation:
+        """The sampled per-cell parameters (V_min,read, preferred state).
+
+        Assigning a new population invalidates the cached operating-point
+        masks.  Mutating the arrays *in place* does not — call
+        :meth:`invalidate_operating_point_cache` afterwards (or simply mutate
+        before the first read at the affected operating points, as the test
+        fixtures do).
+        """
+        return self._cells
+
+    @cells.setter
+    def cells(self, population: BitcellPopulation) -> None:
+        self._cells = population
+        self.invalidate_operating_point_cache()
+
+    def resample_cells(self, seed: int | np.random.Generator | None = None) -> None:
+        """Draw a fresh cell population (a new die) and drop cached masks.
+
+        Stored contents are untouched — resampling changes the physics, not
+        the data — but every cached ``(voltage, temperature)`` mask pair is
+        invalidated because the new cells fail at different voltages.
+        """
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        self.cells = self.variation_model.sample(self.num_words, self.word_bits, rng)
+
+    def invalidate_operating_point_cache(self) -> None:
+        """Drop every cached per-operating-point corruption mask."""
+        self._point_masks.clear()
+        self._point_digests.clear()
+
+    @property
+    def data_bits(self) -> np.ndarray:
+        """Stored bits as a ``(num_words, word_bits)`` matrix (LSB at index 0).
+
+        A compatibility *view* unpacked on demand from the word-resident
+        storage.  The array is read-only (mutating it could never reach the
+        bank) — change contents through :meth:`write`.
+        """
+        bits = unpack_words(self._words, self.word_bits)
+        bits.flags.writeable = False
+        return bits
 
     # ----------------------------------------------------------- geometry
 
@@ -94,12 +169,6 @@ class SramBank:
             raise IndexError("address out of range")
         return addresses
 
-    def _words_to_bits(self, words: np.ndarray) -> np.ndarray:
-        return unpack_words(words, self.word_bits)
-
-    def _bits_to_words(self, bits: np.ndarray) -> np.ndarray:
-        return pack_bits(bits)
-
     def effective_vmin(self, temperature: float) -> np.ndarray:
         """Per-cell V_min,read shifted to the given temperature."""
         return BitcellVariationModel.effective_vmin(
@@ -107,6 +176,75 @@ class SramBank:
             temperature,
             temperature_coefficient=self.temperature_coefficient,
         )
+
+    # ----------------------------------------------- operating-point masks
+
+    def corruption_masks(
+        self,
+        voltage: float,
+        temperature: float = calibration.NOMINAL_TEMPERATURE,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cached word-level ``(and_mask, or_mask)`` at an operating point.
+
+        The masks encode exactly the corruption a read at ``voltage`` /
+        ``temperature`` inflicts (cells whose effective V_min,read exceeds
+        the voltage read as their preferred state):
+        ``corrupted = (word & and_mask) | or_mask``.  Derived once per
+        distinct operating point from the sampled cell population and reused
+        by every subsequent read; the returned arrays are read-only views of
+        the cache.
+        """
+        return self._point_entry(voltage, temperature)[:2]
+
+    def _point_entry(
+        self, voltage: float, temperature: float
+    ) -> tuple[np.ndarray, np.ndarray, bool]:
+        """Cached ``(and_mask, or_mask, identity)`` for an operating point.
+
+        ``identity`` flags a fault-free point (masks corrupt nothing), which
+        lets the read hot path skip the corruption/compare/write-back work
+        entirely — the overwhelmingly common case at nominal voltage.
+        """
+        if voltage <= 0:
+            raise ValueError("voltage must be positive")
+        key = (float(voltage), float(temperature))
+        cached = self._point_masks.get(key)
+        if cached is None:
+            stuck = self.effective_vmin(temperature) > float(voltage)
+            and_masks, or_masks = masks_from_arrays(
+                stuck, self._cells.preferred_state
+            )
+            and_masks.flags.writeable = False
+            or_masks.flags.writeable = False
+            identity = not bool(stuck.any())
+            cached = (and_masks, or_masks, identity)
+            self._point_masks[key] = cached
+            while len(self._point_masks) > _POINT_CACHE_LIMIT:
+                evicted = next(iter(self._point_masks))
+                del self._point_masks[evicted]
+                self._point_digests.pop(evicted, None)
+        return cached
+
+    def mask_digest(
+        self,
+        voltage: float,
+        temperature: float = calibration.NOMINAL_TEMPERATURE,
+    ) -> bytes:
+        """Content digest of the corruption masks at an operating point.
+
+        Two operating points with equal digests corrupt reads identically,
+        so batched sweeps (:meth:`repro.accelerator.npu.Npu.run_sweep`) can
+        share decoded weight images between them.
+        """
+        key = (float(voltage), float(temperature))
+        digest = self._point_digests.get(key)
+        if digest is None:
+            and_masks, or_masks = self.corruption_masks(voltage, temperature)
+            digest = hashlib.blake2b(
+                and_masks.tobytes() + or_masks.tobytes(), digest_size=16
+            ).digest()
+            self._point_digests[key] = digest
+        return digest
 
     # ------------------------------------------------------------- access
 
@@ -124,7 +262,20 @@ class SramBank:
                 words = np.full(addresses.shape, words[0], dtype=np.uint64)
             else:
                 raise ValueError("addresses and words must have matching lengths")
-        self.data_bits[addresses] = self._words_to_bits(words)
+        self.write_planned(addresses, words)
+
+    def write_planned(self, addresses: np.ndarray, words: np.ndarray) -> None:
+        """:meth:`write` minus validation/broadcast (compiled write plans).
+
+        ``addresses`` and ``words`` must be equal-length arrays with the
+        words already masked to the word length — exactly what a compiled
+        refresh plan stores.  Semantics are identical to :meth:`write`:
+        content-identical writes refresh cells without bumping
+        :attr:`content_epoch`.
+        """
+        if (self._words[addresses] != words).any():
+            self._words[addresses] = words
+            self.content_epoch += 1
         self.write_count += int(addresses.size)
 
     def read(
@@ -137,19 +288,40 @@ class SramBank:
 
         Cells whose effective V_min,read exceeds ``voltage`` are
         flipped to their preferred state *in storage* (destructive read) and
-        the returned words reflect the corruption.
+        the returned words reflect the corruption.  The corruption is applied
+        word-at-a-time through the cached operating-point masks
+        (:meth:`corruption_masks`); the result is bit-identical to the
+        bit-domain reference path (per-cell V_min compare + flip).
         """
         addresses = self._check_addresses(addresses)
         if voltage <= 0:
             raise ValueError("voltage must be positive")
-        vmin = self.effective_vmin(temperature)[addresses]
-        disturbed = vmin > float(voltage)
-        bits = self.data_bits[addresses]
-        preferred = self.cells.preferred_state[addresses]
-        new_bits = np.where(disturbed, preferred, bits)
-        self.data_bits[addresses] = new_bits
+        return self.read_planned(addresses, voltage, temperature)
+
+    def read_planned(
+        self,
+        addresses: np.ndarray,
+        voltage: float,
+        temperature: float = calibration.NOMINAL_TEMPERATURE,
+    ) -> np.ndarray:
+        """:meth:`read` minus per-call address validation (compiled plans).
+
+        For the inference hot loop: callers pass integer index arrays built
+        once by a compiled access plan (already bounded by the bank
+        geometry), so re-validating them on every fetch is pure overhead.
+        Out-of-range indices from a stale plan still raise ``IndexError``
+        from NumPy itself.  Semantics are identical to :meth:`read`.
+        """
+        and_masks, or_masks, identity = self._point_entry(voltage, temperature)
+        words = self._words[addresses]
+        if not identity:
+            corrupted = (words & and_masks[addresses]) | or_masks[addresses]
+            if (corrupted != words).any():
+                self._words[addresses] = corrupted
+                self.content_epoch += 1
+            words = corrupted
         self.read_count += int(addresses.size)
-        return self._bits_to_words(new_bits)
+        return words
 
     def read_all(
         self,
@@ -170,7 +342,7 @@ class SramBank:
 
     def stored_words(self) -> np.ndarray:
         """Current storage contents without performing (destructive) reads."""
-        return self._bits_to_words(self.data_bits)
+        return self._words.copy()
 
     def fault_map_at(
         self,
@@ -229,8 +401,8 @@ class SramBank:
         reference_words = np.asarray(reference_words, dtype=np.uint64)
         if reference_words.shape != (self.num_words,):
             raise ValueError(f"expected {self.num_words} words, got {reference_words.shape}")
-        reference_bits = self._words_to_bits(reference_words)
-        return int(np.sum(reference_bits != self.data_bits))
+        mask = np.uint64(self.word_mask)
+        return popcount((reference_words & mask) ^ self._words)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

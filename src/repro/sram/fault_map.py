@@ -29,7 +29,36 @@ import numpy as np
 
 from .bitops import pack_bits
 
-__all__ = ["BitFault", "FaultMap"]
+__all__ = ["BitFault", "FaultMap", "masks_from_arrays"]
+
+
+def masks_from_arrays(
+    stuck: np.ndarray, values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Word-level ``(and_mask, or_mask)`` uint64 arrays from dense bit matrices.
+
+    ``stuck`` is a boolean ``(num_words, word_bits)`` matrix of failing cells
+    and ``values`` holds each cell's stuck state; entries of non-stuck cells
+    are ignored.  Applying ``(word & and_mask) | or_mask`` reproduces exactly
+    the corruption those cells inflict (bits stuck at 0 are cleared by the
+    AND mask, bits stuck at 1 are set by the OR mask).  This is the single
+    derivation shared by :meth:`FaultMap.masks` and the SRAM array model's
+    operating-point-resident read path
+    (:meth:`repro.sram.array.SramBank.corruption_masks`), so the two can
+    never disagree on the mask semantics.
+    """
+    stuck = np.asarray(stuck, dtype=bool)
+    values = np.asarray(values)
+    if stuck.ndim != 2 or stuck.shape != values.shape:
+        raise ValueError("stuck and values must be equal 2-D shapes")
+    num_words, word_bits = stuck.shape
+    if word_bits > 64:
+        raise ValueError("word_bits must be at most 64")
+    full = np.uint64((1 << word_bits) - 1)
+    clear_bits = pack_bits(stuck & (values == 0))
+    set_bits = pack_bits(stuck & (values != 0))
+    and_masks = np.full(num_words, full, dtype=np.uint64) ^ clear_bits
+    return and_masks, set_bits
 
 
 @dataclass(frozen=True)
@@ -211,13 +240,10 @@ class FaultMap:
     def _mask_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """The cached, read-only (and_mask, or_mask) pair."""
         if self._masks_cache is None:
-            full = np.uint64((1 << self.word_bits) - 1)
-            clear_bits = pack_bits(self._stuck & (self._values == 0))
-            set_bits = pack_bits(self._stuck & (self._values != 0))
-            and_masks = np.full(self.num_words, full, dtype=np.uint64) ^ clear_bits
+            and_masks, or_masks = masks_from_arrays(self._stuck, self._values)
             and_masks.flags.writeable = False
-            set_bits.flags.writeable = False
-            self._masks_cache = (and_masks, set_bits)
+            or_masks.flags.writeable = False
+            self._masks_cache = (and_masks, or_masks)
         return self._masks_cache
 
     def mask_views(self) -> tuple[np.ndarray, np.ndarray]:

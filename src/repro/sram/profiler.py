@@ -68,7 +68,29 @@ class SramProfiler:
         self.test_patterns = dict(test_patterns) if test_patterns else {}
         self.restore_contents = bool(restore_contents)
 
+    def patterns_for(self, bank: SramBank) -> dict[str, int]:
+        """The data backgrounds this profiler writes into ``bank``.
+
+        Public API: fault-map cache keys
+        (:meth:`repro.matic.flow.MaticFlow.profile_chip`) fold the resolved
+        patterns in through this method, so a subclass that derives its
+        backgrounds differently (e.g. geometry-dependent checkerboards) keys
+        its artifacts correctly by overriding it — rather than silently
+        sharing cache entries because a private helper was bypassed.
+        Configured patterns are masked to the bank's word length; without
+        configuration the defaults are all-zeros and all-ones, which together
+        expose every stuck cell regardless of its preferred state.
+        """
+        return self._patterns_for(bank)
+
     def _patterns_for(self, bank: SramBank) -> dict[str, int]:
+        """Deprecated pre-public spelling of :meth:`patterns_for`.
+
+        Holds the default derivation so legacy subclasses that override it
+        (including ones that call ``super()._patterns_for``) keep driving
+        both profiling and cache keys through the public method's
+        delegation.  New code should override :meth:`patterns_for`.
+        """
         if self.test_patterns:
             return {
                 name: value & bank.word_mask for name, value in self.test_patterns.items()
@@ -110,7 +132,7 @@ class SramProfiler:
         rar_errors = 0
         pattern_errors: dict[str, int] = {}
 
-        for pattern_name, pattern in self._patterns_for(bank).items():
+        for pattern_name, pattern in self.patterns_for(bank).items():
             expected = np.full(bank.num_words, pattern, dtype=np.uint64)
             # Write the background at nominal voltage, then read twice at the
             # target voltage: the first read exposes read-disturb flips

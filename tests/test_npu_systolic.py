@@ -177,3 +177,127 @@ class TestSystolicRingAndNpu:
         hardware = npu.predict(x, sram_voltage=0.9)
         software = network.predict(x)
         assert np.max(np.abs(hardware - software)) < 0.05
+
+
+class TestMacAccounting:
+    """sum(pe.mac_count) must equal stats.macs at every geometry.
+
+    The gather plan credits each PE for the weight words it hosts (bias
+    words excluded); summed over the ring that must reconcile exactly with
+    ``LayerExecutionStats.macs = in_features * out_features * batch`` —
+    including when capacity-constrained banks force spilled, multi-segment
+    placements.
+    """
+
+    @pytest.mark.parametrize("words_per_bank", [128, 45, 43])
+    def test_pe_mac_counts_reconcile_with_stats(self, quantizer, words_per_bank):
+        memory = WeightMemorySystem.build(4, words_per_bank, 16, seed=13)
+        network = Network("10-12-3", seed=3)
+        npu = Npu(memory)
+        npu.deploy(network, quantizer)
+        if words_per_bank < 128:
+            assert npu.program.placement.spilled_neurons > 0  # spill actually forced
+        for batch in (1, 4):
+            npu.ring.reset_counters()
+            _, stats = npu.run(np.zeros((batch, 10)), sram_voltage=0.9)
+            assert sum(pe.mac_count for pe in npu.ring.pes) == stats.macs
+            assert stats.macs == npu.program.total_macs_per_inference * batch
+
+    def test_plan_weight_words_cover_every_mac_operand(self, quantizer):
+        memory = WeightMemorySystem.build(4, 43, 16, seed=13)
+        network = Network("10-12-3", seed=3)
+        npu = Npu(memory)
+        npu.deploy(network, quantizer)
+        placement = npu.program.placement
+        for index, layer in enumerate(placement.layers):
+            plan = placement.gather_plan(index)
+            assert sum(plan.weight_words) == layer.in_features * layer.out_features
+            hosted = sum(a.size for a in plan.addresses)
+            assert hosted == (layer.in_features + 1) * layer.out_features
+
+
+class TestRunSweep:
+    VOLTAGES = [0.90, 0.53, 0.50, 0.46, 0.90, 0.50]  # deliberate duplicates
+
+    def _deployed(self, quantizer, seed=13):
+        memory = WeightMemorySystem.build(4, 128, 16, seed=seed)
+        npu = Npu(memory)
+        npu.deploy(Network("10-12-3", seed=3), quantizer)
+        return npu
+
+    def test_run_sweep_matches_sequential_refreshed_runs(self, quantizer):
+        x = np.random.default_rng(1).random((16, 10))
+        reference = self._deployed(quantizer)
+        expected = []
+        for voltage in self.VOLTAGES:
+            reference.refresh_weights()
+            expected.append(reference.run(x, sram_voltage=voltage))
+        swept = self._deployed(quantizer).run_sweep(x, self.VOLTAGES)
+        assert len(swept) == len(self.VOLTAGES)
+        for (out_a, stats_a), (out_b, stats_b) in zip(expected, swept):
+            np.testing.assert_array_equal(out_a, out_b)
+            assert (stats_a.cycles, stats_a.macs, stats_a.sram_reads) == (
+                stats_b.cycles,
+                stats_b.macs,
+                stats_b.sram_reads,
+            )
+
+    def test_run_sweep_without_refresh_preserves_order_and_persistence(self, quantizer):
+        x = np.random.default_rng(1).random((8, 10))
+        voltages = [0.46, 0.90, 0.46]
+        reference = self._deployed(quantizer)
+        expected = [reference.run(x, sram_voltage=v)[0] for v in voltages]
+        swept = self._deployed(quantizer).run_sweep(x, voltages, refresh=False)
+        for out_a, (out_b, _) in zip(expected, swept):
+            np.testing.assert_array_equal(out_a, out_b)
+        # corruption from the 0.46 V point persisted into the 0.90 V one
+        np.testing.assert_array_equal(expected[0], expected[2])
+
+    def test_run_sweep_requires_deploy(self, memory):
+        with pytest.raises(RuntimeError):
+            Npu(memory).run_sweep(np.zeros((1, 4)), [0.9])
+
+    def test_decode_memo_reuses_identical_mask_groups(self, quantizer):
+        """Nominal-voltage grid points share one decoded weight image."""
+        npu = self._deployed(quantizer)
+        x = np.random.default_rng(2).random((4, 10))
+        npu.run_sweep(x, [0.90, 0.88, 0.86])  # all fault-free, one group
+        layers = len(npu.program.layers)
+        assert sum(len(m.by_digest) for m in npu._decode_memo.values()) == layers
+
+    def test_decode_memo_does_not_leak_across_deploys(self, quantizer):
+        npu = self._deployed(quantizer)
+        x = np.random.default_rng(2).random((4, 10))
+        first = npu.predict(x, sram_voltage=0.9)
+        other = Network("10-12-3", seed=9)
+        npu.deploy(other, quantizer)
+        redeployed = npu.predict(x, sram_voltage=0.9)
+        assert not np.array_equal(first, redeployed)
+        # memo rebuilt from the new words, and a fresh NPU agrees bit-for-bit
+        fresh_memory = WeightMemorySystem.build(4, 128, 16, seed=13)
+        fresh = Npu(fresh_memory)
+        fresh.deploy(other, quantizer)
+        np.testing.assert_array_equal(redeployed, fresh.predict(x, sram_voltage=0.9))
+
+    def test_memoized_run_matches_unmemoized_ring(self, quantizer):
+        """The epoch/digest memo must never change outputs — compare a full
+        corrupting run against the decoder-free ring path on a twin chip."""
+        from repro.accelerator.systolic import SystolicRing
+
+        x = np.random.default_rng(5).random((6, 10))
+        npu = self._deployed(quantizer)
+        twin = self._deployed(quantizer)
+        for voltage in (0.9, 0.47, 0.47, 0.9):
+            out_memo, _ = npu.run(x, sram_voltage=voltage)
+            activations = twin.data_format.quantize(np.asarray(x, dtype=float))
+            ring = twin.ring
+            for layer_program in twin.program.layers:
+                pre, _ = ring.compute_layer(
+                    activations,
+                    layer_program,
+                    twin.program.placement,
+                    voltage=voltage,
+                )
+                activations = twin.afu.apply(layer_program.activation, pre)
+                activations = twin.data_format.quantize(activations)
+            np.testing.assert_array_equal(out_memo, activations)

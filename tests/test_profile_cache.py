@@ -125,6 +125,64 @@ class TestProfileChipMemoization:
         flow.profile_chip(make_chip(), VOLTAGE, profiler=RepeatProfiler(passes=3))
         assert cache.stats.stores == stores + 2  # same config is a hit
 
+    def test_patterns_for_is_public_and_keys_the_cache(self, cache):
+        """A subclass overriding the public patterns_for() hook must get its
+        own cache entries — the key resolves patterns through the public API,
+        not a private helper a custom profiler could silently miss."""
+        from repro.sram import SramProfiler
+
+        class CheckerboardProfiler(SramProfiler):
+            def patterns_for(self, bank):
+                return {
+                    "checker": 0xAAAA & bank.word_mask,
+                    "rechecker": 0x5555 & bank.word_mask,
+                }
+
+        profiler = CheckerboardProfiler()
+        assert set(profiler.patterns_for(make_chip().memory[0])) == {
+            "checker",
+            "rechecker",
+        }
+        # a non-overriding profiler resolves both spellings identically
+        plain = SramProfiler()
+        bank = make_chip().memory[0]
+        assert plain._patterns_for(bank) == plain.patterns_for(bank)
+
+        flow = MaticFlow(training_cache=cache)
+        flow.profile_chip(make_chip(), VOLTAGE)
+        stores = cache.stats.stores
+        flow.profile_chip(make_chip(), VOLTAGE, profiler=CheckerboardProfiler())
+        assert cache.stats.stores == stores + 2  # re-profiled under its own key
+        flow.profile_chip(make_chip(), VOLTAGE, profiler=CheckerboardProfiler())
+        assert cache.stats.stores == stores + 2  # same patterns hit the cache
+
+    def test_legacy_private_override_still_drives_profiling(self):
+        """A pre-publication subclass overriding _patterns_for keeps working:
+        the public hook detects the override and delegates to it."""
+        from repro.sram import SramProfiler
+
+        class LegacyProfiler(SramProfiler):
+            def _patterns_for(self, bank):
+                return {"only-ones": bank.word_mask}
+
+        profiler = LegacyProfiler()
+        bank = make_chip().memory[0]
+        assert profiler.patterns_for(bank) == {"only-ones": bank.word_mask}
+        report = profiler.profile_bank(bank, VOLTAGE)
+        assert set(report.pattern_errors) == {"only-ones"}
+        # only cells preferring 0 corrupt an all-ones background
+        for fault in report.fault_map.faults:
+            assert fault.stuck_value == 0
+
+        class LegacySuperProfiler(SramProfiler):
+            def _patterns_for(self, bank):
+                base = super()._patterns_for(bank)  # must not recurse
+                base["checker"] = 0xAAAA & bank.word_mask
+                return base
+
+        extended = LegacySuperProfiler().patterns_for(bank)
+        assert set(extended) == {"zeros", "ones", "checker"}
+
     def test_unrestored_profiler_bypasses_memoization(self, cache):
         """restore_contents=False profiling has a visible side effect (the
         bank keeps the test patterns), so a cache hit would not be

@@ -86,6 +86,39 @@ class TestDeploymentAndInference:
         np.testing.assert_allclose(chip.predict(x), nominal)
 
 
+class TestRunVoltageSweep:
+    def test_sweep_matches_sequential_regulated_inference(self, deployed_chip):
+        """run_voltage_sweep must equal set_voltage + refresh + run_inference
+        per point — regulator quantization and clamping included (0.523 V
+        programs as 0.525 V; 0.2 V clamps to the regulator minimum)."""
+        chip, network = deployed_chip
+        voltages = [0.9, 0.523, 0.46, 0.2]
+        x = np.random.default_rng(4).random((6, 10))
+
+        twin = Snnac(SnnacConfig(num_pes=4, words_per_bank=64, seed=3))
+        twin.deploy(network, WeightQuantizer(16, 13))
+        expected = []
+        for voltage in voltages:
+            twin.refresh_weights()
+            twin.sram_regulator.set_voltage(voltage)
+            expected.append(twin.run_inference(x)[0])
+
+        swept = chip.run_voltage_sweep(x, voltages)
+        for reference, (outputs, _) in zip(expected, swept):
+            np.testing.assert_array_equal(reference, outputs)
+        # regulator left programmed at the (quantized) last requested point
+        assert chip.sram_regulator.voltage == pytest.approx(
+            twin.sram_regulator.voltage
+        )
+
+    def test_sweep_records_inferences(self, deployed_chip):
+        chip, _ = deployed_chip
+        x = np.zeros((3, 10))
+        chip.run_voltage_sweep(x, [0.9, 0.5])
+        assert chip.mcu.inference_requests == 6
+        assert chip.mcu.asleep
+
+
 class TestEnergyReporting:
     def test_energy_per_inference_requires_deploy(self, chip):
         with pytest.raises(RuntimeError):
