@@ -1,0 +1,288 @@
+"""Variation-scenario benchmark (BENCH_variation.json).
+
+Exercises the correlated-variation layer end to end and records the
+quantities the refactor promises:
+
+1. **Zero-correlation bit-identity** — a :class:`CorrelatedVminModel` with
+   every strength at 0, and a chip built from an ``iid`` scenario, must
+   produce *bit-identical* populations and fault maps to the legacy i.i.d.
+   models at the same seed (same floats, not merely close).
+2. **Sharded merge bit-identity** — the ``variation_scenarios`` driver run
+   as shard 0/2 + shard 1/2 over a shared store must merge to the exact
+   unsharded table.
+3. **Measurable correlation effect at equal marginal variance** — at the
+   same geometry and seeds, correlated scenarios must show larger fault-map
+   clustering (row autocorrelation), a wider die-Vmin spread across the
+   sampled dies, and per-cell marginals preserved (failure-probability curve
+   unchanged).
+4. **Canary placement** — stratified placement must cover at least as many
+   die regions as pure-margin ordering on the correlated die.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_variation.py
+
+Appends a session record to ``BENCH_variation.json`` at the repository root
+and exits non-zero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from _bench_records import append_record  # noqa: E402
+from repro.experiments.cache import ArtifactCache  # noqa: E402
+from repro.experiments.common import make_chip  # noqa: E402
+from repro.experiments.engine import (  # noqa: E402
+    ShardIncompleteError,
+    ShardSpec,
+    SweepRunner,
+)
+from repro.experiments.variation_scenarios import run_variation_scenarios  # noqa: E402
+from repro.sram.bitcell import (  # noqa: E402
+    CorrelatedVminModel,
+    EmpiricalVminModel,
+    GaussianVminModel,
+)
+from repro.sram.variation import CorrelationSpec, VariationScenario  # noqa: E402
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_variation.json"
+
+SWEEP_LABEL = "bench-variation-scenarios"
+SHAPES = ("iid", "region", "mixed")
+STRENGTHS = (0.5,)
+VOLTAGE = 0.50
+
+
+def _rows(result) -> list[tuple]:
+    return [
+        (
+            p.benchmark,
+            p.shape,
+            p.strength,
+            p.scenario_digest,
+            p.vmin_mean,
+            p.vmin_std,
+            p.vmin_max,
+            p.yield_fraction,
+            p.fault_rate,
+            p.mean_row_run,
+            p.mean_column_run,
+            p.row_autocorrelation,
+            p.column_autocorrelation,
+            p.naive_error,
+            p.adaptive_error,
+            p.margin_regions,
+            p.stratified_regions,
+            p.margin_detects,
+            p.stratified_detects,
+        )
+        for p in result.points
+    ]
+
+
+def _shard_runner(store: ArtifactCache, index: int, count: int) -> SweepRunner:
+    return SweepRunner(
+        workers=1,
+        shard=ShardSpec(index, count),
+        shard_store=store,
+        sweep_label=SWEEP_LABEL,
+    )
+
+
+def bench_bit_identity() -> dict:
+    """Zero correlation must reproduce the legacy i.i.d. models bit for bit."""
+    model_identical = True
+    for base in (EmpiricalVminModel(), GaussianVminModel()):
+        wrapped = CorrelatedVminModel(base=base)
+        a = base.sample(128, 16, np.random.default_rng(7))
+        b = wrapped.sample(128, 16, np.random.default_rng(7))
+        model_identical &= bool(np.array_equal(a.vmin_read, b.vmin_read))
+        model_identical &= bool(np.array_equal(a.preferred_state, b.preferred_state))
+
+    legacy = make_chip(seed=23, words_per_bank=64, num_pes=2)
+    scenario_chip = make_chip(
+        seed=23, words_per_bank=64, num_pes=2, scenario=VariationScenario()
+    )
+    chip_identical = all(
+        np.array_equal(
+            lb.fault_map_at(VOLTAGE).stuck_mask, sb.fault_map_at(VOLTAGE).stuck_mask
+        )
+        and np.array_equal(lb.cells.vmin_read, sb.cells.vmin_read)
+        for lb, sb in zip(legacy.memory, scenario_chip.memory)
+    )
+    return {
+        "model_sample_bit_identical": model_identical,
+        "iid_scenario_chip_bit_identical": bool(chip_identical),
+    }
+
+
+def bench_marginals() -> dict:
+    """Correlation must redistribute variance without changing marginals."""
+    base = EmpiricalVminModel()
+    spec = CorrelationSpec.from_shape("mixed", 0.6)
+    correlated = CorrelatedVminModel(
+        base=base,
+        row=spec.row,
+        column_group=spec.column_group,
+        region=spec.region,
+    )
+    # failure-probability curve is delegated verbatim to the base model
+    voltages = np.linspace(0.40, 0.55, 7)
+    curve_identical = bool(
+        np.array_equal(
+            base.failure_probability(voltages), correlated.failure_probability(voltages)
+        )
+    )
+    # empirical marginal across many sampled populations (different seeds so
+    # shared components average out)
+    iid_cells = np.concatenate(
+        [base.sample(64, 16, np.random.default_rng(s)).vmin_read.ravel() for s in range(30)]
+    )
+    corr_cells = np.concatenate(
+        [
+            correlated.sample(64, 16, np.random.default_rng(s)).vmin_read.ravel()
+            for s in range(30)
+        ]
+    )
+    mean_gap = abs(float(iid_cells.mean()) - float(corr_cells.mean()))
+    std_ratio = float(corr_cells.std() / iid_cells.std())
+    return {
+        "failure_probability_identical": curve_identical,
+        "marginal_mean_gap_volts": round(mean_gap, 6),
+        "marginal_std_ratio": round(std_ratio, 4),
+        "marginals_preserved": mean_gap < 0.002 and 0.9 < std_ratio < 1.1,
+    }
+
+
+def bench_sweep(cache_dir: str) -> dict:
+    store = ArtifactCache(root=cache_dir)
+    kwargs = dict(
+        benchmarks=("inversek2j",),
+        shapes=SHAPES,
+        strengths=STRENGTHS,
+        voltage=VOLTAGE,
+        num_dies=6,
+        num_pes=4,
+        words_per_bank=128,
+        num_samples=300,
+        adaptive_epochs=8,
+        seed=3,
+        cache=store,
+    )
+
+    start = time.perf_counter()
+    reference = run_variation_scenarios(runner=SweepRunner(workers=1), **kwargs)
+    unsharded_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    shard0_incomplete = False
+    try:
+        run_variation_scenarios(runner=_shard_runner(store, 0, 2), **kwargs)
+    except ShardIncompleteError:
+        shard0_incomplete = True
+    shard0_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    merged = run_variation_scenarios(runner=_shard_runner(store, 1, 2), **kwargs)
+    shard1_seconds = time.perf_counter() - start
+
+    iid = reference.points_for("iid")[0]
+    correlated = [p for p in reference.points if p.shape != "iid"]
+    clustering_shift = all(
+        p.row_autocorrelation > iid.row_autocorrelation for p in correlated
+    )
+    vmin_spread_shift = all(p.vmin_std > iid.vmin_std for p in correlated)
+    stratified_covers = all(
+        p.stratified_regions >= p.margin_regions for p in reference.points
+    )
+    digests = {p.scenario_digest for p in reference.points}
+
+    return {
+        "grid_points": len(reference.points),
+        "shapes": list(SHAPES),
+        "strengths": list(STRENGTHS),
+        "merged_bit_identical": _rows(merged) == _rows(reference),
+        "shard0_incomplete_as_expected": shard0_incomplete,
+        "scenario_digests_distinct": len(digests) == len(reference.points),
+        "iid_row_autocorrelation": round(iid.row_autocorrelation, 6),
+        "correlated_row_autocorrelation": [
+            round(p.row_autocorrelation, 6) for p in correlated
+        ],
+        "clustering_shift": clustering_shift,
+        "iid_vmin_std": round(iid.vmin_std, 6),
+        "correlated_vmin_std": [round(p.vmin_std, 6) for p in correlated],
+        "vmin_spread_shift": vmin_spread_shift,
+        "iid_vs_correlated_vmin_gap": round(
+            max(p.vmin_mean for p in correlated) - iid.vmin_mean, 6
+        ),
+        "stratified_covers_at_least_margin": stratified_covers,
+        "unsharded_seconds": round(unsharded_seconds, 6),
+        "shard0_seconds": round(shard0_seconds, 6),
+        "shard1_seconds": round(shard1_seconds, 6),
+    }
+
+
+def main() -> int:
+    identity = bench_bit_identity()
+    marginals = bench_marginals()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-variation-") as cache_dir:
+        sweep = bench_sweep(cache_dir)
+
+    session = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "bit_identity": identity,
+        "marginals": marginals,
+        "sweep": sweep,
+    }
+    append_record(
+        RECORD_PATH,
+        session,
+        suite="variation-scenarios",
+        headline={
+            "latest_bit_identical": sweep["merged_bit_identical"]
+            and identity["model_sample_bit_identical"]
+            and identity["iid_scenario_chip_bit_identical"],
+            "latest_clustering_shift": sweep["clustering_shift"],
+            "latest_unsharded_seconds": sweep["unsharded_seconds"],
+        },
+    )
+    print(json.dumps(session, indent=2))
+
+    failures = []
+    if not identity["model_sample_bit_identical"]:
+        failures.append("zero-correlation model diverged from the legacy sampler")
+    if not identity["iid_scenario_chip_bit_identical"]:
+        failures.append("iid-scenario chip diverged from the legacy chip")
+    if not marginals["failure_probability_identical"]:
+        failures.append("correlated model changed the failure-probability curve")
+    if not marginals["marginals_preserved"]:
+        failures.append("correlation changed the per-cell marginal distribution")
+    if not sweep["merged_bit_identical"]:
+        failures.append("2-shard merge diverged from the unsharded run")
+    if not sweep["shard0_incomplete_as_expected"]:
+        failures.append("shard 0/2 did not report an incomplete sweep")
+    if not sweep["scenario_digests_distinct"]:
+        failures.append("scenario digests collided across grid points")
+    if not sweep["clustering_shift"]:
+        failures.append("correlated scenarios showed no clustering shift vs i.i.d.")
+    if not sweep["vmin_spread_shift"]:
+        failures.append("correlated scenarios showed no die-Vmin spread shift")
+    if not sweep["stratified_covers_at_least_margin"]:
+        failures.append("stratified canary placement covered fewer regions than margin")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

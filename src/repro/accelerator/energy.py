@@ -23,6 +23,7 @@ energies from this model rather than echoing the paper's numbers.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 import numpy as np
@@ -411,6 +412,24 @@ class SnnacEnergyModel:
             logic_frequency=logic_frequency,
             sram_frequency=sram_frequency,
         )
+
+    def with_leakage_scale(self, scale: float) -> "SnnacEnergyModel":
+        """A copy of this model with both domains' leakage power scaled.
+
+        Realizes a :class:`~repro.sram.variation.ProcessCorner`'s
+        ``leakage_scale`` without re-calibrating: the scale is applied to the
+        already-decomposed ``_LeakageModel`` nominal powers on deep copies,
+        so the SRAM dynamic table (anchors minus the *calibration* leakage)
+        is left exactly as constructed.  ``scale == 1.0`` returns ``self``.
+        """
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if scale == 1.0:
+            return self
+        scaled = copy.deepcopy(self)
+        scaled.logic.leakage.nominal_power *= float(scale)
+        scaled.sram.leakage.nominal_power *= float(scale)
+        return scaled
 
     # ------------------------------------------------------------------
 

@@ -21,7 +21,7 @@ from ..sram import calibration
 from ..sram.array import WeightMemorySystem
 from ..sram.bitcell import BitcellVariationModel
 from ..sram.regulator import VoltageRegulator
-from ..sram.variation import EnvironmentalConditions
+from ..sram.variation import EnvironmentalConditions, VariationScenario
 from .afu import ActivationFunctionUnit
 from .energy import NOMINAL_OPERATING_POINT, OperatingPoint, SnnacEnergyModel
 from .npu import InferenceStats, Npu
@@ -161,6 +161,11 @@ class Snnac:
         Calibrated chip energy model (defaults to the paper calibration).
     environment:
         Ambient conditions; mutable via :meth:`set_environment`.
+    scenario:
+        Optional :class:`~repro.sram.variation.VariationScenario` threading
+        correlated sampling, the process corner (V_min shift + leakage
+        scale), and trajectory context through the chip.  Defaults preserve
+        the legacy i.i.d./typical-corner behaviour exactly.
     """
 
     def __init__(
@@ -169,14 +174,17 @@ class Snnac:
         variation_model: BitcellVariationModel | None = None,
         energy_model: SnnacEnergyModel | None = None,
         environment: EnvironmentalConditions | None = None,
+        scenario: VariationScenario | None = None,
     ) -> None:
         self.config = config or SnnacConfig()
+        self.scenario = scenario
         self.memory = WeightMemorySystem.build(
             num_banks=self.config.num_pes,
             words_per_bank=self.config.words_per_bank,
             word_bits=self.config.word_bits,
             variation_model=variation_model,
             seed=self.config.seed,
+            scenario=scenario,
         )
         data_format = FixedPointFormat(self.config.word_bits, self.config.data_frac_bits)
         self.npu = Npu(
@@ -193,7 +201,12 @@ class Snnac:
             words_per_bank=self.config.words_per_bank,
             word_bits=self.config.word_bits,
         )
+        if scenario is not None:
+            self.energy_model = self.energy_model.with_leakage_scale(
+                scenario.corner.leakage_scale
+            )
         self.environment = environment or EnvironmentalConditions()
+        self._apply_vmin_offsets()
         self.logic_regulator = VoltageRegulator(initial_voltage=0.9)
         self.sram_regulator = VoltageRegulator(initial_voltage=0.9)
         self.frequency = NOMINAL_OPERATING_POINT.frequency
@@ -221,8 +234,19 @@ class Snnac:
     # -------------------------------------------------------- environment
 
     def set_environment(self, environment: EnvironmentalConditions) -> None:
-        """Change the ambient conditions (e.g. a temperature-chamber step)."""
+        """Change the ambient conditions (e.g. a temperature-chamber or
+        trajectory step); aging/drift ``vmin_shift`` is pushed into every
+        weight bank on top of the process-corner skew."""
         self.environment = environment
+        self._apply_vmin_offsets()
+
+    def _apply_vmin_offsets(self) -> None:
+        corner_shift = (
+            float(self.scenario.corner.vmin_shift) if self.scenario is not None else 0.0
+        )
+        offset = corner_shift + float(self.environment.vmin_shift)
+        for bank in self.memory:
+            bank.vmin_offset = offset
 
     @property
     def temperature(self) -> float:

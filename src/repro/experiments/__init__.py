@@ -14,7 +14,11 @@
 
 Beyond the paper's artifacts, :func:`repro.experiments.scaling_geometry.run_scaling_geometry`
 sweeps chip geometry (PE count × bank capacity) against the workload
-catalog — the paper benchmarks plus procedural ``synth/...`` specs.
+catalog — the paper benchmarks plus procedural ``synth/...`` specs — and
+:func:`repro.experiments.variation_scenarios.run_variation_scenarios`
+sweeps correlated-variation scenarios (shape × strength × workload) for
+die Vmin/yield statistics, fault-map clustering, MATIC-vs-naive error, and
+margin-vs-stratified canary placement.
 
 All drivers execute through the sweep engine
 (:mod:`repro.experiments.engine`): grids expand into independent seeded
@@ -84,6 +88,9 @@ _DRIVER_EXPORTS = {
     "PRIOR_WORK_ROWS": "table3_comparison",
     "run_scaling_geometry": "scaling_geometry",
     "DEFAULT_WORKLOADS": "scaling_geometry",
+    "run_variation_scenarios": "variation_scenarios",
+    "DEFAULT_SHAPES": "variation_scenarios",
+    "DEFAULT_STRENGTHS": "variation_scenarios",
 }
 
 #: Driver submodules, also reachable as package attributes once requested.
@@ -149,4 +156,7 @@ __all__ = [
     "PRIOR_WORK_ROWS",
     "run_scaling_geometry",
     "DEFAULT_WORKLOADS",
+    "run_variation_scenarios",
+    "DEFAULT_SHAPES",
+    "DEFAULT_STRENGTHS",
 ]

@@ -58,6 +58,7 @@ from ..matic.flow import MaticFlow, TrainingConfig
 from ..nn.data import Dataset
 from ..nn.network import Network
 from ..nn.trainer import Trainer, TrainingHistory
+from ..sram.variation import VariationScenario
 from .cache import ArtifactCache, cache_digest, default_cache
 from .engine import BACKEND_NAMES, ShardIncompleteError, ShardSpec, SweepRunner, SweepTask
 
@@ -257,18 +258,21 @@ def make_chip(
     words_per_bank: int = 512,
     num_pes: int = 8,
     config: SnnacConfig | None = None,
+    scenario: VariationScenario | None = None,
 ) -> Snnac:
     """A fresh SNNAC chip instance (its own sampled SRAM variation).
 
     ``config`` overrides the individual geometry arguments entirely (the
     seed is still applied on top so sweep workers can derive per-task chips
-    from one shared configuration).
+    from one shared configuration).  ``scenario`` threads a
+    :class:`~repro.sram.variation.VariationScenario` (correlated sampling,
+    process corner) into the instance.
     """
     if config is not None:
         config = replace(config, seed=seed)
     else:
         config = SnnacConfig(seed=seed, words_per_bank=words_per_bank, num_pes=num_pes)
-    return Snnac(config)
+    return Snnac(config, scenario=scenario)
 
 
 def format_table(

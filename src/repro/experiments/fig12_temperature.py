@@ -12,6 +12,12 @@ The driver deploys the ``inversek2j`` benchmark with the full MATIC flow
 paper's temperature schedule; at each stabilized point the canary controller
 runs Algorithm 1 and the resulting rail voltage plus the on-chip application
 error are recorded.
+
+The walk is expressed as an
+:class:`~repro.sram.variation.EnvironmentTrajectory` — the chamber schedule
+is lifted into a trajectory, so drift scenarios (an aging V_min shift
+accumulating over the dwell times) reuse this driver unchanged via the
+``trajectory`` argument or the ``--aging-rate`` / ``--dwell-hours`` flags.
 """
 
 from __future__ import annotations
@@ -21,7 +27,11 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..matic.flow import MaticDeployment
-from ..sram.variation import EnvironmentalConditions, TemperatureChamber
+from ..sram.variation import (
+    EnvironmentalConditions,
+    EnvironmentTrajectory,
+    TemperatureChamber,
+)
 from .cache import ArtifactCache, default_cache
 from .common import (
     ExperimentResult,
@@ -39,12 +49,14 @@ __all__ = ["TemperatureStep", "Fig12Result", "run_fig12", "main"]
 
 @dataclass
 class TemperatureStep:
-    """Controller outcome at one stabilized chamber temperature."""
+    """Controller outcome at one stabilized trajectory step."""
 
     temperature: float
     sram_voltage: float
     canary_failure_voltage: float | None
     application_error: float
+    #: accumulated aging/drift V_min shift active at this step, volts
+    vmin_shift: float = 0.0
 
 
 @dataclass
@@ -113,7 +125,18 @@ def _fig12_step_worker(shared: dict, task: SweepTask) -> TemperatureStep:
         sram_voltage=trace.final_voltage,
         canary_failure_voltage=trace.canary_failure_voltage,
         application_error=error,
+        vmin_shift=conditions.vmin_shift,
     )
+
+
+#: Why Fig. 12 refuses ``--shard``: the walk is one physical experiment, not
+#: a grid of independent points.
+_SHARD_REJECTION = (
+    "the Fig. 12 trajectory walk is stateful and cannot be sharded: each step "
+    "inherits the previous step's regulator setting and persistent storage "
+    "corruption, so splitting the walk across shards would change the physics. "
+    "Run it unsharded (e.g. --workers 1) instead."
+)
 
 
 def run_fig12(
@@ -125,21 +148,28 @@ def run_fig12(
     chip_seed: int = 11,
     safe_voltage: float = 0.60,
     chamber: TemperatureChamber | None = None,
+    trajectory: EnvironmentTrajectory | None = None,
+    dwell_hours: float = 1.0,
+    aging_vmin_shift_per_hour: float = 0.0,
     deployment: MaticDeployment | None = None,
     runner: SweepRunner | None = None,
     cache: ArtifactCache | None = None,
 ) -> Fig12Result:
-    """Run the temperature-chamber experiment with the canary controller.
+    """Run the trajectory experiment with the canary controller.
 
-    The chamber schedule is *stateful* (regulator state and storage
-    corruption carry from step to step), so any provided ``runner`` is
-    forced onto the engine's in-process serial path and sharding is
-    rejected — splitting the walk across hosts would change the physics.
+    ``trajectory`` defaults to the paper's chamber schedule lifted into an
+    :class:`~repro.sram.variation.EnvironmentTrajectory` (``chamber``,
+    ``dwell_hours``, and ``aging_vmin_shift_per_hour`` parameterize the
+    lift); pass a custom trajectory to run arbitrary timed condition walks
+    through the same driver.
+
+    The walk is *stateful* (regulator state and storage corruption carry
+    from step to step), so any provided ``runner`` is forced onto the
+    engine's in-process serial path and sharding is rejected — splitting
+    the walk across hosts would change the physics.
     """
     if runner is not None and runner.shard is not None:
-        raise ValueError(
-            "the Fig. 12 chamber schedule is stateful and cannot be sharded"
-        )
+        raise ValueError(_SHARD_REJECTION)
     cache = cache if cache is not None else default_cache()
     prepared = prepare_benchmark(
         benchmark, num_samples=num_samples, seed=seed, cache=cache
@@ -162,8 +192,13 @@ def run_fig12(
     # (the paper's Fig. 12 voltage steps are on the order of 10 mV)
     deployment.controller.voltage_step = 0.005
 
-    chamber = chamber or TemperatureChamber()
-    conditions = list(chamber.conditions())
+    if trajectory is None:
+        trajectory = EnvironmentTrajectory.from_chamber(
+            chamber or TemperatureChamber(),
+            dwell_hours=dwell_hours,
+            aging_vmin_shift_per_hour=aging_vmin_shift_per_hour,
+        )
+    conditions = trajectory.conditions()
     result = Fig12Result(
         benchmark=benchmark,
         target_voltage=target_voltage,
@@ -204,9 +239,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--chip-seed", type=int, default=11)
     parser.add_argument("--safe-voltage", type=float, default=0.60)
+    parser.add_argument(
+        "--dwell-hours",
+        type=float,
+        default=1.0,
+        help="hours spent stabilized at each trajectory step",
+    )
+    parser.add_argument(
+        "--aging-rate",
+        type=float,
+        default=0.0,
+        help="aging V_min drift in volts per hour, accumulated over the walk",
+    )
     args = parser.parse_args(argv)
     if args.shard is not None:
-        parser.error("the Fig. 12 chamber schedule is stateful and cannot be sharded")
+        parser.error(_SHARD_REJECTION)
     return run_experiment_cli(
         args,
         "fig12",
@@ -218,6 +265,8 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             chip_seed=args.chip_seed,
             safe_voltage=args.safe_voltage,
+            dwell_hours=args.dwell_hours,
+            aging_vmin_shift_per_hour=args.aging_rate,
             runner=runner,
             cache=cache,
         ),

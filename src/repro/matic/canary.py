@@ -57,6 +57,18 @@ class CanarySelector:
         Voltage step of the profiled search, volts.
     search_depth:
         Number of steps below the target voltage to search.
+    placement:
+        ``"margin"`` (default) takes the most marginal cells outright — the
+        paper's pure-margin ordering.  ``"stratified"`` spreads the picks
+        across die regions and column groups, taking the most marginal cell
+        of each spatial stratum round-robin: under correlated (clustered)
+        variation, pure-margin ordering can land every canary in one weak
+        region and leave the rest of the bank unguarded.  The stratification
+        grid follows the bank's :class:`~repro.sram.variation.VariationScenario`
+        when one is attached, else ``num_regions`` / ``column_group_size``.
+    num_regions / column_group_size:
+        Default stratification grid for ``"stratified"`` placement on banks
+        without a scenario.
     """
 
     def __init__(
@@ -65,6 +77,9 @@ class CanarySelector:
         strategy: str = "profiled",
         search_step: float = 0.005,
         search_depth: int = 20,
+        placement: str = "margin",
+        num_regions: int = 4,
+        column_group_size: int = 4,
     ) -> None:
         if canaries_per_bank <= 0:
             raise ValueError("canaries_per_bank must be positive")
@@ -72,10 +87,17 @@ class CanarySelector:
             raise ValueError("strategy must be 'profiled' or 'oracle'")
         if search_step <= 0 or search_depth <= 0:
             raise ValueError("search_step and search_depth must be positive")
+        if placement not in ("margin", "stratified"):
+            raise ValueError("placement must be 'margin' or 'stratified'")
+        if num_regions <= 0 or column_group_size <= 0:
+            raise ValueError("num_regions and column_group_size must be positive")
         self.canaries_per_bank = int(canaries_per_bank)
         self.strategy = strategy
         self.search_step = float(search_step)
         self.search_depth = int(search_depth)
+        self.placement = placement
+        self.num_regions = int(num_regions)
+        self.column_group_size = int(column_group_size)
 
     # ------------------------------------------------------------------
 
@@ -103,9 +125,13 @@ class CanarySelector:
                 else min(int(used_words_per_bank[bank_index]), bank.num_words)
             )
             if self.strategy == "oracle":
-                cells = self._select_oracle(bank, target_voltage, temperature, limit)
+                ordered = self._select_oracle(bank, target_voltage, temperature, limit)
             else:
-                cells = self._select_profiled(bank, target_voltage, temperature, limit)
+                ordered = self._select_profiled(bank, target_voltage, temperature, limit)
+            if self.placement == "stratified":
+                cells = self._stratify(ordered, bank, limit)
+            else:
+                cells = ordered[: self.canaries_per_bank]
             for address, bit in cells:
                 expected = int((int(bank.stored_words()[address]) >> bit) & 1)
                 canaries.append(CanaryBit(bank_index, address, bit, expected))
@@ -114,13 +140,13 @@ class CanarySelector:
     def _select_oracle(
         self, bank: SramBank, target_voltage: float, temperature: float, limit: int
     ) -> list[tuple[int, int]]:
+        """All usable candidate cells in order of increasing margin."""
         marginal = bank.marginal_cells(
             target_voltage, temperature=temperature, count=bank.size_bits
         )
-        selected = [
+        return [
             (fault.address, fault.bit) for fault in marginal if fault.address < limit
         ]
-        return selected[: self.canaries_per_bank]
 
     def _select_profiled(
         self, bank: SramBank, target_voltage: float, temperature: float, limit: int
@@ -139,6 +165,12 @@ class CanarySelector:
             .profile_bank(bank, target_voltage, temperature)
             .fault_map.faults
         }
+        # margin placement needs only the first canaries_per_bank discoveries;
+        # stratified placement keeps searching the full depth so every spatial
+        # stratum gets a chance to contribute a candidate
+        enough = (
+            self.canaries_per_bank if self.placement == "margin" else float("inf")
+        )
         selected: list[tuple[int, int]] = []
         seen: set[tuple[int, int]] = set(already_failed)
         profiler = SramProfiler()
@@ -153,8 +185,44 @@ class CanarySelector:
                     continue
                 seen.add(key)
                 selected.append(key)
-                if len(selected) >= self.canaries_per_bank:
+                if len(selected) >= enough:
                     return selected
+        return selected
+
+    def _stratify(
+        self, ordered: list[tuple[int, int]], bank: SramBank, limit: int
+    ) -> list[tuple[int, int]]:
+        """Round-robin the most marginal cell of each spatial stratum.
+
+        Strata are (die region, column group) buckets; candidates arrive
+        most-marginal-first, so taking the head of each bucket round-robin
+        yields the most marginal representative of every covered stratum
+        before any stratum contributes a second canary.
+        """
+        if not ordered:
+            return []
+        scenario = getattr(bank, "scenario", None)
+        if scenario is not None:
+            num_regions = scenario.correlation.num_regions
+            group_size = scenario.correlation.column_group_size
+        else:
+            num_regions = self.num_regions
+            group_size = self.column_group_size
+        span = max(int(limit), 1)
+        regions = max(min(num_regions, span), 1)
+        buckets: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        for address, bit in ordered:
+            region = min(address * regions // span, regions - 1)
+            stratum = (region, bit // group_size)
+            buckets.setdefault(stratum, []).append((address, bit))
+        # bucket order follows each stratum's most marginal candidate, so the
+        # first round of picks is itself margin-ordered across strata
+        queues = list(buckets.values())
+        selected: list[tuple[int, int]] = []
+        while len(selected) < self.canaries_per_bank and any(queues):
+            for queue in queues:
+                if queue and len(selected) < self.canaries_per_bank:
+                    selected.append(queue.pop(0))
         return selected
 
 

@@ -121,6 +121,11 @@ class MaticFlow:
         Number of in-situ canary cells per weight SRAM bank.
     canary_strategy:
         Selection strategy (``"profiled"`` or ``"oracle"``).
+    canary_placement:
+        Placement policy (``"margin"`` or ``"stratified"``): pure-margin
+        ordering versus spatially stratified spreading across die regions
+        and column groups (robust to clustered faults; see
+        ``docs/variation.md``).
     training_cache:
         Optional artifact cache (duck-typed ``get(kind, key)`` /
         ``put(kind, key, value)``, e.g.
@@ -140,6 +145,7 @@ class MaticFlow:
         training: TrainingConfig | None = None,
         canaries_per_bank: int = 8,
         canary_strategy: str = "profiled",
+        canary_placement: str = "margin",
         training_cache=None,
     ) -> None:
         self.word_bits = int(word_bits)
@@ -147,6 +153,7 @@ class MaticFlow:
         self.training = training or TrainingConfig()
         self.canaries_per_bank = int(canaries_per_bank)
         self.canary_strategy = canary_strategy
+        self.canary_placement = canary_placement
         self.training_cache = training_cache
 
     # ------------------------------------------------------------ pieces
@@ -202,6 +209,13 @@ class MaticFlow:
         so the key hashes exactly those.  Hashing the sampled population
         *content* rather than the (seed, model) pair that produced it keeps
         the key sound even for hand-constructed or mutated banks.
+
+        The bank's variation provenance
+        (:meth:`~repro.sram.array.SramBank.scenario_key`: scenario spec,
+        model spec, and the corner/aging ``vmin_offset``) also participates:
+        the offset changes which cells fail at a given voltage, and folding
+        the scenario spec in guarantees i.i.d. and correlated populations
+        can never collide in the artifact cache.
         """
         return {
             "vmin_read": bank.cells.vmin_read,
@@ -212,6 +226,7 @@ class MaticFlow:
             "temperature": float(temperature),
             "patterns": profiler.patterns_for(bank),
             "profiler": profiler.describe(),
+            "provenance": bank.scenario_key(),
         }
 
     def profile_chip(
@@ -429,6 +444,7 @@ class MaticFlow:
             selector = CanarySelector(
                 canaries_per_bank=self.canaries_per_bank,
                 strategy=self.canary_strategy,
+                placement=self.canary_placement,
             )
             canaries = selector.select(
                 chip.memory,

@@ -6,6 +6,7 @@ from .array import SramBank, WeightMemorySystem
 from .bitcell import (
     BitcellPopulation,
     BitcellVariationModel,
+    CorrelatedVminModel,
     EmpiricalVminModel,
     GaussianVminModel,
 )
@@ -17,9 +18,13 @@ from .variation import (
     FAST_CORNER,
     SLOW_CORNER,
     TYPICAL_CORNER,
+    CorrelationSpec,
     EnvironmentalConditions,
+    EnvironmentTrajectory,
     ProcessCorner,
     TemperatureChamber,
+    TrajectoryStep,
+    VariationScenario,
 )
 
 __all__ = [
@@ -30,6 +35,7 @@ __all__ = [
     "BitcellVariationModel",
     "GaussianVminModel",
     "EmpiricalVminModel",
+    "CorrelatedVminModel",
     "BitFault",
     "FaultMap",
     "masks_from_arrays",
@@ -40,6 +46,10 @@ __all__ = [
     "SramProfiler",
     "VoltageRegulator",
     "EnvironmentalConditions",
+    "EnvironmentTrajectory",
+    "TrajectoryStep",
+    "CorrelationSpec",
+    "VariationScenario",
     "ProcessCorner",
     "TemperatureChamber",
     "TYPICAL_CORNER",

@@ -41,6 +41,7 @@ from . import calibration
 from .bitcell import BitcellPopulation, BitcellVariationModel, EmpiricalVminModel
 from .bitops import popcount, unpack_words
 from .fault_map import BitFault, FaultMap, masks_from_arrays
+from .variation import VariationScenario
 
 __all__ = ["SramBank", "WeightMemorySystem"]
 
@@ -76,6 +77,7 @@ class SramBank:
         seed: int | np.random.Generator | None = None,
         name: str = "sram",
         temperature_coefficient: float = calibration.TEMPERATURE_COEFFICIENT,
+        scenario: VariationScenario | None = None,
     ) -> None:
         if num_words <= 0 or word_bits <= 0:
             raise ValueError("num_words and word_bits must be positive")
@@ -86,8 +88,23 @@ class SramBank:
         self.name = name
         self.temperature_coefficient = float(temperature_coefficient)
         rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
-        model = variation_model if variation_model is not None else EmpiricalVminModel()
+        #: the variation scenario this bank was built under (None = legacy
+        #: i.i.d./typical-corner behaviour); folded into cache keys
+        self.scenario = scenario
+        if variation_model is not None:
+            model = variation_model
+        elif scenario is not None:
+            model = scenario.variation_model()
+        else:
+            model = EmpiricalVminModel()
         self.variation_model = model
+        #: additive V_min,read shift applied by :meth:`effective_vmin` —
+        #: process-corner skew plus environment/aging drift.  Part of the
+        #: operating-point mask cache key, so it may be reassigned freely
+        #: (a trajectory walk) without invalidating cached points.
+        self.vmin_offset = (
+            float(scenario.corner.vmin_shift) if scenario is not None else 0.0
+        )
         self._cells: BitcellPopulation = model.sample(self.num_words, self.word_bits, rng)
         #: stored contents, one uint64 word per address (word-resident storage)
         self._words = np.zeros(self.num_words, dtype=np.uint64)
@@ -97,9 +114,11 @@ class SramBank:
         #: bumped whenever stored words actually change (write or corrupting
         #: read); lets consumers cheaply detect "contents unchanged"
         self.content_epoch = 0
-        # per-(voltage, temperature) corruption masks + content digests
-        self._point_masks: dict[tuple[float, float], tuple[np.ndarray, np.ndarray]] = {}
-        self._point_digests: dict[tuple[float, float], bytes] = {}
+        # per-(voltage, temperature, vmin_offset) corruption masks + digests
+        self._point_masks: dict[
+            tuple[float, float, float], tuple[np.ndarray, np.ndarray, bool]
+        ] = {}
+        self._point_digests: dict[tuple[float, float, float], bytes] = {}
 
     # ---------------------------------------------------------- population
 
@@ -170,12 +189,33 @@ class SramBank:
         return addresses
 
     def effective_vmin(self, temperature: float) -> np.ndarray:
-        """Per-cell V_min,read shifted to the given temperature."""
-        return BitcellVariationModel.effective_vmin(
+        """Per-cell V_min,read shifted for temperature, corner, and drift."""
+        shifted = BitcellVariationModel.effective_vmin(
             self.cells.vmin_read,
             temperature,
             temperature_coefficient=self.temperature_coefficient,
         )
+        if self.vmin_offset:
+            shifted = shifted + self.vmin_offset
+        return shifted
+
+    def scenario_key(self) -> dict:
+        """Content key describing the bank's variation provenance.
+
+        Folded into fault-map / profile cache keys so populations sampled
+        under different scenarios (i.i.d. vs correlated, different corners)
+        can never collide in the :class:`ArtifactCache` even if their
+        sampled arrays happened to coincide.
+        """
+        try:
+            model_key = self.variation_model.spec_key()
+        except (NotImplementedError, AttributeError):
+            model_key = repr(self.variation_model)
+        return {
+            "scenario": None if self.scenario is None else self.scenario.spec_key(),
+            "model": model_key,
+            "vmin_offset": float(self.vmin_offset),
+        }
 
     # ----------------------------------------------- operating-point masks
 
@@ -207,7 +247,7 @@ class SramBank:
         """
         if voltage <= 0:
             raise ValueError("voltage must be positive")
-        key = (float(voltage), float(temperature))
+        key = (float(voltage), float(temperature), float(self.vmin_offset))
         cached = self._point_masks.get(key)
         if cached is None:
             stuck = self.effective_vmin(temperature) > float(voltage)
@@ -236,7 +276,7 @@ class SramBank:
         so batched sweeps (:meth:`repro.accelerator.npu.Npu.run_sweep`) can
         share decoded weight images between them.
         """
-        key = (float(voltage), float(temperature))
+        key = (float(voltage), float(temperature), float(self.vmin_offset))
         digest = self._point_digests.get(key)
         if digest is None:
             and_masks, or_masks = self.corruption_masks(voltage, temperature)
@@ -437,16 +477,21 @@ class WeightMemorySystem:
         variation_model: BitcellVariationModel | None = None,
         seed: int | np.random.SeedSequence | None = None,
         name_prefix: str = "pe",
+        scenario: VariationScenario | None = None,
     ) -> "WeightMemorySystem":
         """Construct ``num_banks`` banks with independent variation samples.
 
         Per-bank generators are derived with :meth:`numpy.random.SeedSequence.spawn`,
         which guarantees statistically independent streams (drawing integer
         seeds from a root generator does not, and ``integers(0, 2**63 - 1)``
-        silently excluded one seed value).
+        silently excluded one seed value).  ``scenario`` threads a
+        :class:`VariationScenario` into every bank (correlated sampling +
+        corner V_min shift); an explicit ``variation_model`` still wins.
         """
         if num_banks <= 0:
             raise ValueError("num_banks must be positive")
+        if variation_model is None and scenario is not None:
+            variation_model = scenario.variation_model()
         root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
         banks = [
             SramBank(
@@ -455,6 +500,7 @@ class WeightMemorySystem:
                 variation_model=variation_model,
                 seed=np.random.default_rng(child),
                 name=f"{name_prefix}{index}.weights",
+                scenario=scenario,
             )
             for index, child in enumerate(root.spawn(num_banks))
         ]

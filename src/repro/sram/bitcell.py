@@ -33,6 +33,7 @@ __all__ = [
     "BitcellVariationModel",
     "GaussianVminModel",
     "EmpiricalVminModel",
+    "CorrelatedVminModel",
     "BitcellPopulation",
 ]
 
@@ -82,6 +83,21 @@ class BitcellVariationModel:
 
     def failure_probability(self, voltage: float | np.ndarray) -> np.ndarray:
         """Probability that a random cell fails a read at ``voltage`` (25 °C)."""
+        raise NotImplementedError
+
+    def vmin_from_normal_scores(self, scores: np.ndarray) -> np.ndarray:
+        """Map standard-normal scores to V_min,read with this model's marginal.
+
+        This is the Gaussian-copula hook used by :class:`CorrelatedVminModel`:
+        the copula builds a correlated standard-normal field and each model
+        maps it through its own marginal distribution, so correlation
+        redistributes variance across shared components without changing any
+        cell's marginal law.
+        """
+        raise NotImplementedError
+
+    def spec_key(self) -> dict:
+        """Content key describing the model's parameters, for cache digests."""
         raise NotImplementedError
 
     # ------------------------------------------------------------------
@@ -143,6 +159,17 @@ class GaussianVminModel(BitcellVariationModel):
         z = (self.mean - voltage) / (self.sigma * np.sqrt(2.0))
         return 0.5 * (1.0 + _erf(z))
 
+    def vmin_from_normal_scores(self, scores: np.ndarray) -> np.ndarray:
+        return self.mean + self.sigma * np.asarray(scores, dtype=float)
+
+    def spec_key(self) -> dict:
+        return {
+            "model": "gaussian",
+            "mean": self.mean,
+            "sigma": self.sigma,
+            "preferred_one_probability": self.preferred_one_probability,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"GaussianVminModel(mean={self.mean}, sigma={self.sigma})"
 
@@ -203,8 +230,143 @@ class EmpiricalVminModel(BitcellVariationModel):
         ).astype(np.uint8)
         return BitcellPopulation(vmin_read=vmin, preferred_state=preferred)
 
+    def vmin_from_normal_scores(self, scores: np.ndarray) -> np.ndarray:
+        # A cell fails at V when Vmin > V, so the survival transform
+        # u = P(Z > z) = Φ(−z) maps a standard-normal score to the uniform
+        # that the i.i.d. sampler would have drawn, then the same clipped
+        # log-rate inverse transform recovers Vmin with identical marginals.
+        scores = np.asarray(scores, dtype=float)
+        u = 0.5 * (1.0 + _erf(-scores / np.sqrt(2.0)))
+        u = np.clip(u, self.rates[-1], self.rates[0])
+        log_rates = np.log10(self.rates)
+        return np.interp(np.log10(u), log_rates[::-1], self.voltages[::-1])
+
+    def spec_key(self) -> dict:
+        return {
+            "model": "empirical",
+            "anchors": tuple(
+                (float(v), float(r)) for v, r in zip(self.voltages, self.rates)
+            ),
+            "preferred_one_probability": self.preferred_one_probability,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"EmpiricalVminModel({len(self.voltages)} anchors)"
+
+
+class CorrelatedVminModel(BitcellVariationModel):
+    """Spatially correlated V_min,read via a Gaussian-copula decomposition.
+
+    Real banks share peripherals — wordline drivers per row, sense amps and
+    write drivers per column group, and die-level gradients — so cell
+    failures cluster.  This model decomposes each cell's standard-normal
+    score into shared components plus an i.i.d. residual:
+
+        z = √row·Z_row + √column_group·Z_group + √region·Z_region
+            + √(1 − row − column_group − region)·Z_cell
+
+    Each component is standard normal and independent, so ``z`` is exactly
+    standard normal and the marginal V_min distribution (mapped through
+    ``base.vmin_from_normal_scores``) matches the i.i.d. ``base`` model for
+    any strengths — correlation redistributes variance, it never inflates it.
+
+    With all strengths zero, :meth:`sample` delegates verbatim to
+    ``base.sample`` so the output is bit-identical to the legacy models.
+    Components draw from independent child generators obtained via
+    ``rng.spawn``, so samples are reproducible and geometry-stable per
+    component.
+    """
+
+    def __init__(
+        self,
+        base: BitcellVariationModel | None = None,
+        row: float = 0.0,
+        column_group: float = 0.0,
+        region: float = 0.0,
+        column_group_size: int = 4,
+        num_regions: int = 4,
+    ) -> None:
+        self.base = base if base is not None else EmpiricalVminModel()
+        for name, value in (
+            ("row", row), ("column_group", column_group), ("region", region)
+        ):
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} strength must be in [0, 1)")
+        if row + column_group + region >= 1.0:
+            raise ValueError("correlation strengths must sum to less than 1")
+        if column_group_size <= 0:
+            raise ValueError("column_group_size must be positive")
+        if num_regions <= 0:
+            raise ValueError("num_regions must be positive")
+        self.row = float(row)
+        self.column_group = float(column_group)
+        self.region = float(region)
+        self.column_group_size = int(column_group_size)
+        self.num_regions = int(num_regions)
+
+    @property
+    def is_iid(self) -> bool:
+        return self.row == 0.0 and self.column_group == 0.0 and self.region == 0.0
+
+    def sample(
+        self, num_words: int, word_bits: int, rng: np.random.Generator
+    ) -> BitcellPopulation:
+        if num_words <= 0 or word_bits <= 0:
+            raise ValueError("array geometry must be positive")
+        if self.is_iid:
+            # bit-identical to the legacy i.i.d. path: same generator, same
+            # draw order, no spawned children
+            return self.base.sample(num_words, word_bits, rng)
+        row_rng, group_rng, region_rng, cell_rng, preferred_rng = rng.spawn(5)
+        num_groups = -(-word_bits // self.column_group_size)
+        regions = min(self.num_regions, num_words)
+        residual = 1.0 - self.row - self.column_group - self.region
+        scores = np.sqrt(residual) * cell_rng.standard_normal(
+            size=(num_words, word_bits)
+        )
+        if self.row > 0.0:
+            scores += np.sqrt(self.row) * row_rng.standard_normal(
+                size=(num_words, 1)
+            )
+        if self.column_group > 0.0:
+            group_scores = group_rng.standard_normal(size=num_groups)
+            group_of_bit = np.arange(word_bits) // self.column_group_size
+            scores += np.sqrt(self.column_group) * group_scores[group_of_bit]
+        if self.region > 0.0:
+            region_scores = region_rng.standard_normal(size=regions)
+            # contiguous word-address blocks
+            region_of_word = np.minimum(
+                np.arange(num_words) * regions // num_words, regions - 1
+            )
+            scores += np.sqrt(self.region) * region_scores[region_of_word][:, None]
+        vmin = self.base.vmin_from_normal_scores(scores)
+        preferred_p = getattr(self.base, "preferred_one_probability", 0.5)
+        preferred = (
+            preferred_rng.random(size=(num_words, word_bits)) < preferred_p
+        ).astype(np.uint8)
+        return BitcellPopulation(vmin_read=vmin, preferred_state=preferred)
+
+    def failure_probability(self, voltage: float | np.ndarray) -> np.ndarray:
+        # the copula preserves marginals exactly, so the population failure
+        # rate at any voltage is the base model's
+        return self.base.failure_probability(voltage)
+
+    def spec_key(self) -> dict:
+        return {
+            "model": "correlated",
+            "base": self.base.spec_key(),
+            "row": self.row,
+            "column_group": self.column_group,
+            "region": self.region,
+            "column_group_size": self.column_group_size,
+            "num_regions": self.num_regions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"CorrelatedVminModel(row={self.row}, column_group={self.column_group}, "
+            f"region={self.region}, base={self.base!r})"
+        )
 
 
 def _erf(x: np.ndarray) -> np.ndarray:

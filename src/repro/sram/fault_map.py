@@ -235,6 +235,74 @@ class FaultMap:
             f"rate={self.fault_rate:.4f})"
         )
 
+    # ------------------------------------------- clustering diagnostics
+
+    def fault_run_lengths(self, axis: str = "row") -> np.ndarray:
+        """Lengths of contiguous stuck-cell runs along words or bit columns.
+
+        ``axis="row"`` scans each word left to right (runs of adjacent stuck
+        bits within a word); ``axis="column"`` scans each bit position down
+        the address space.  Under i.i.d. faults runs are geometrically short;
+        shared-peripheral (correlated) failures produce long runs, which is
+        what the scenario sweeps and tests use as a clustering signal.
+        """
+        if axis == "row":
+            grid = self._stuck
+        elif axis == "column":
+            grid = self._stuck.T
+        else:
+            raise ValueError("axis must be 'row' or 'column'")
+        # pad each line with False so runs never join across line boundaries,
+        # then diff the flattened sequence: +1 marks run starts, -1 run ends
+        padded = np.zeros((grid.shape[0], grid.shape[1] + 1), dtype=np.int8)
+        padded[:, :-1] = grid
+        flat = np.concatenate([[0], padded.ravel()])
+        edges = np.diff(flat)
+        starts = np.flatnonzero(edges == 1)
+        ends = np.flatnonzero(edges == -1)
+        return ends - starts
+
+    def spatial_autocorrelation(self, axis: str = "row") -> float:
+        """Pearson correlation of adjacent-cell stuck indicators.
+
+        ``axis="row"`` correlates horizontally adjacent cells (within a
+        word), ``axis="column"`` vertically adjacent ones (same bit, next
+        address).  Returns 0.0 for degenerate maps (no faults, all faults,
+        or a single-line geometry along the chosen axis).
+        """
+        if axis == "row":
+            a = self._stuck[:, :-1].ravel()
+            b = self._stuck[:, 1:].ravel()
+        elif axis == "column":
+            a = self._stuck[:-1, :].ravel()
+            b = self._stuck[1:, :].ravel()
+        else:
+            raise ValueError("axis must be 'row' or 'column'")
+        if a.size == 0:
+            return 0.0
+        a = a.astype(float)
+        b = b.astype(float)
+        var_a = a.var()
+        var_b = b.var()
+        if var_a == 0.0 or var_b == 0.0:
+            return 0.0
+        covariance = ((a - a.mean()) * (b - b.mean())).mean()
+        return float(covariance / np.sqrt(var_a * var_b))
+
+    def clustering_summary(self) -> dict:
+        """Compact clustering diagnostics for reporting and sweep rows."""
+        row_runs = self.fault_run_lengths("row")
+        column_runs = self.fault_run_lengths("column")
+        return {
+            "fault_rate": self.fault_rate,
+            "mean_row_run": float(row_runs.mean()) if row_runs.size else 0.0,
+            "max_row_run": int(row_runs.max()) if row_runs.size else 0,
+            "mean_column_run": float(column_runs.mean()) if column_runs.size else 0.0,
+            "max_column_run": int(column_runs.max()) if column_runs.size else 0,
+            "row_autocorrelation": self.spatial_autocorrelation("row"),
+            "column_autocorrelation": self.spatial_autocorrelation("column"),
+        }
+
     # -------------------------------------------------------------- masks
 
     def _mask_arrays(self) -> tuple[np.ndarray, np.ndarray]:

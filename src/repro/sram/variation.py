@@ -1,4 +1,4 @@
-"""Environmental (PVT) variation models and the temperature chamber.
+"""Environmental (PVT) variation models, trajectories, and scenarios.
 
 The paper's Fig. 12 experiment sweeps ambient temperature from −15 °C to
 90 °C in 15 °C steps while the in-situ canary controller re-adjusts the SRAM
@@ -7,11 +7,18 @@ SRAM and energy models consume, :class:`ProcessCorner` captures global
 process skew (a die-to-die shift of every cell's V_min,read), and
 :class:`TemperatureChamber` generates the sweep schedule used by the
 experiment driver.
+
+:class:`EnvironmentTrajectory` generalizes the chamber to a timed sequence
+of conditions with an optional aging/drift term, and
+:class:`VariationScenario` bundles the full per-die story — spatial
+correlation structure (:class:`CorrelationSpec`), process corner, and
+trajectory — into one content-addressable object that the chip, flow cache
+keys, and experiment drivers all consume.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -21,6 +28,10 @@ __all__ = [
     "EnvironmentalConditions",
     "ProcessCorner",
     "TemperatureChamber",
+    "TrajectoryStep",
+    "EnvironmentTrajectory",
+    "CorrelationSpec",
+    "VariationScenario",
     "TYPICAL_CORNER",
     "SLOW_CORNER",
     "FAST_CORNER",
@@ -34,10 +45,15 @@ class EnvironmentalConditions:
     temperature: float = calibration.NOMINAL_TEMPERATURE
     #: static offset on the SRAM rail from supply-grid IR drop / noise, volts
     supply_noise: float = 0.0
+    #: additive shift of every cell's V_min,read (volts) from aging / NBTI
+    #: drift accumulated along a trajectory; positive values weaken cells
+    vmin_shift: float = 0.0
 
     def with_temperature(self, temperature: float) -> "EnvironmentalConditions":
         return EnvironmentalConditions(
-            temperature=float(temperature), supply_noise=self.supply_noise
+            temperature=float(temperature),
+            supply_noise=self.supply_noise,
+            vmin_shift=self.vmin_shift,
         )
 
 
@@ -104,3 +120,218 @@ class TemperatureChamber:
     def conditions(self) -> list[EnvironmentalConditions]:
         """The schedule expressed as :class:`EnvironmentalConditions`."""
         return [EnvironmentalConditions(temperature=t) for t in self.schedule()]
+
+
+@dataclass(frozen=True)
+class TrajectoryStep:
+    """One stabilized point along an :class:`EnvironmentTrajectory`."""
+
+    time_hours: float
+    conditions: EnvironmentalConditions
+
+
+@dataclass(frozen=True)
+class EnvironmentTrajectory:
+    """A timed sequence of environmental conditions with optional aging.
+
+    Generalizes :class:`TemperatureChamber` (a pure temperature walk at
+    time zero) to arbitrary timed condition sequences.  The aging term
+    models a slow monotone V_min,read drift (NBTI-style): the effective
+    conditions at each step fold ``aging_vmin_shift_per_hour * time_hours``
+    into the step's ``vmin_shift``.
+    """
+
+    steps: tuple[TrajectoryStep, ...]
+    aging_vmin_shift_per_hour: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a trajectory needs at least one step")
+        times = [step.time_hours for step in self.steps]
+        if any(t < 0 for t in times):
+            raise ValueError("step times must be non-negative")
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("step times must be non-decreasing")
+
+    @classmethod
+    def from_chamber(
+        cls,
+        chamber: TemperatureChamber,
+        dwell_hours: float = 1.0,
+        aging_vmin_shift_per_hour: float = 0.0,
+        base: EnvironmentalConditions | None = None,
+    ) -> "EnvironmentTrajectory":
+        """Lift a chamber schedule into a trajectory (one dwell per point)."""
+        if dwell_hours < 0:
+            raise ValueError("dwell_hours must be non-negative")
+        base = base if base is not None else EnvironmentalConditions()
+        steps = tuple(
+            TrajectoryStep(
+                time_hours=index * float(dwell_hours),
+                conditions=base.with_temperature(temperature),
+            )
+            for index, temperature in enumerate(chamber.schedule())
+        )
+        return cls(steps=steps, aging_vmin_shift_per_hour=float(aging_vmin_shift_per_hour))
+
+    def conditions(self) -> list[EnvironmentalConditions]:
+        """Effective conditions at each step, with aging drift folded in."""
+        result = []
+        for step in self.steps:
+            drift = self.aging_vmin_shift_per_hour * step.time_hours
+            conditions = step.conditions
+            if drift:
+                conditions = EnvironmentalConditions(
+                    temperature=conditions.temperature,
+                    supply_noise=conditions.supply_noise,
+                    vmin_shift=conditions.vmin_shift + drift,
+                )
+            result.append(conditions)
+        return result
+
+    def spec_key(self) -> dict:
+        """Content key for cache digests."""
+        return {
+            "steps": tuple(
+                (
+                    float(step.time_hours),
+                    float(step.conditions.temperature),
+                    float(step.conditions.supply_noise),
+                    float(step.conditions.vmin_shift),
+                )
+                for step in self.steps
+            ),
+            "aging_vmin_shift_per_hour": float(self.aging_vmin_shift_per_hour),
+        }
+
+
+@dataclass(frozen=True)
+class CorrelationSpec:
+    """Spatial correlation structure of bit-cell V_min,read within a bank.
+
+    Each strength is the fraction of the per-cell variance carried by a
+    shared Gaussian component (wordline-driver rows, sense-amp column
+    groups, die regions); the remainder ``1 - row - column_group - region``
+    stays i.i.d. per cell, so the marginal distribution is preserved
+    exactly regardless of the split.
+    """
+
+    row: float = 0.0
+    column_group: float = 0.0
+    region: float = 0.0
+    column_group_size: int = 4
+    num_regions: int = 4
+
+    def __post_init__(self) -> None:
+        for name in ("row", "column_group", "region"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} strength must be in [0, 1)")
+        if self.row + self.column_group + self.region >= 1.0:
+            raise ValueError("correlation strengths must sum to less than 1")
+        if self.column_group_size <= 0:
+            raise ValueError("column_group_size must be positive")
+        if self.num_regions <= 0:
+            raise ValueError("num_regions must be positive")
+
+    @property
+    def is_iid(self) -> bool:
+        return self.row == 0.0 and self.column_group == 0.0 and self.region == 0.0
+
+    @classmethod
+    def from_shape(cls, shape: str, strength: float = 0.0, **kwargs) -> "CorrelationSpec":
+        """Named correlation shapes used by the scenario sweep driver.
+
+        ``iid`` ignores ``strength``; ``row``/``column``/``region`` put all
+        of ``strength`` on one component; ``mixed`` splits it 1/2 row,
+        1/4 column group, 1/4 region.
+        """
+        if shape == "iid":
+            return cls(**kwargs)
+        if not 0.0 <= strength < 1.0:
+            raise ValueError("strength must be in [0, 1)")
+        if shape == "row":
+            return cls(row=strength, **kwargs)
+        if shape == "column":
+            return cls(column_group=strength, **kwargs)
+        if shape == "region":
+            return cls(region=strength, **kwargs)
+        if shape == "mixed":
+            return cls(
+                row=strength / 2.0,
+                column_group=strength / 4.0,
+                region=strength / 4.0,
+                **kwargs,
+            )
+        raise ValueError(f"unknown correlation shape: {shape!r}")
+
+    @property
+    def total(self) -> float:
+        return self.row + self.column_group + self.region
+
+    def spec_key(self) -> dict:
+        return {
+            "row": float(self.row),
+            "column_group": float(self.column_group),
+            "region": float(self.region),
+            "column_group_size": int(self.column_group_size),
+            "num_regions": int(self.num_regions),
+        }
+
+
+@dataclass(frozen=True)
+class VariationScenario:
+    """A first-class, content-parameterized per-die variation story.
+
+    Bundles the spatial correlation structure, the process corner, and an
+    optional environment trajectory.  ``digest()`` is stable across
+    processes and folds into fault-map / profile cache keys so i.i.d. and
+    correlated samples can never collide in the :class:`ArtifactCache`.
+    """
+
+    name: str = "iid-tt"
+    correlation: CorrelationSpec = field(default_factory=CorrelationSpec)
+    corner: ProcessCorner = TYPICAL_CORNER
+    trajectory: EnvironmentTrajectory | None = None
+
+    def variation_model(self, base=None):
+        """Build the bit-cell model realizing this scenario's correlation.
+
+        ``base`` supplies the marginal distribution (defaults to the
+        calibrated :class:`~repro.sram.bitcell.EmpiricalVminModel`); an
+        i.i.d. spec returns ``base`` itself so the zero-correlation path is
+        bit-identical to the legacy models.
+        """
+        from .bitcell import CorrelatedVminModel, EmpiricalVminModel
+
+        if base is None:
+            base = EmpiricalVminModel()
+        if self.correlation.is_iid:
+            return base
+        return CorrelatedVminModel(
+            base=base,
+            row=self.correlation.row,
+            column_group=self.correlation.column_group,
+            region=self.correlation.region,
+            column_group_size=self.correlation.column_group_size,
+            num_regions=self.correlation.num_regions,
+        )
+
+    def spec_key(self) -> dict:
+        return {
+            "name": str(self.name),
+            "correlation": self.correlation.spec_key(),
+            "corner": {
+                "name": str(self.corner.name),
+                "vmin_shift": float(self.corner.vmin_shift),
+                "leakage_scale": float(self.corner.leakage_scale),
+            },
+            "trajectory": (
+                None if self.trajectory is None else self.trajectory.spec_key()
+            ),
+        }
+
+    def digest(self) -> str:
+        from repro.experiments.cache import cache_digest
+
+        return cache_digest(self.spec_key())

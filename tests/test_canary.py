@@ -174,3 +174,102 @@ class TestCanaryController:
         canaries = selector.select(chip.memory, 0.5)
         with pytest.raises(ValueError):
             CanaryController(chip, canaries, voltage_step=0.0)
+
+
+class TestStratifiedPlacement:
+    """Spatially stratified canary placement under correlated variation."""
+
+    @staticmethod
+    def _strata(canaries, chip, num_regions=4, group_size=4):
+        strata = set()
+        for canary in canaries:
+            span = chip.memory[canary.bank].num_words
+            regions = max(min(num_regions, span), 1)
+            region = min(canary.address * regions // span, regions - 1)
+            strata.add((canary.bank, region, canary.bit // group_size))
+        return strata
+
+    def _select(self, chip, placement):
+        selector = CanarySelector(
+            canaries_per_bank=8, strategy="oracle", placement=placement
+        )
+        return selector.select(chip.memory, 0.50)
+
+    def test_invalid_placement_rejected(self):
+        with pytest.raises(ValueError):
+            CanarySelector(placement="random")
+        with pytest.raises(ValueError):
+            CanarySelector(num_regions=0)
+        with pytest.raises(ValueError):
+            CanarySelector(column_group_size=0)
+
+    def test_default_placement_is_margin(self, deployed_chip):
+        chip, _ = deployed_chip
+        implicit = CanarySelector(canaries_per_bank=4, strategy="oracle")
+        explicit = CanarySelector(
+            canaries_per_bank=4, strategy="oracle", placement="margin"
+        )
+        assert implicit.select(chip.memory, 0.50) == explicit.select(chip.memory, 0.50)
+
+    def test_stratified_covers_at_least_as_many_strata(self, deployed_chip):
+        chip, _ = deployed_chip
+        margin = self._strata(self._select(chip, "margin"), chip)
+        stratified = self._strata(self._select(chip, "stratified"), chip)
+        assert len(stratified) >= len(margin)
+
+    def test_stratified_spreads_under_regional_weakness(self):
+        """With one artificially weak die region, pure-margin ordering piles
+        every canary into that region; stratified placement still covers the
+        other regions."""
+        from repro.sram.variation import CorrelationSpec, VariationScenario
+
+        scenario = VariationScenario(
+            name="region-heavy", correlation=CorrelationSpec(region=0.5)
+        )
+        chip = Snnac(
+            SnnacConfig(num_pes=2, words_per_bank=64, seed=31), scenario=scenario
+        )
+        # make the first die region (addresses 0..15) uniformly the most
+        # marginal cells of the bank by a wide gap
+        for bank in chip.memory:
+            bank.cells.vmin_read[:, :] = 0.30
+            bank.cells.vmin_read[:16, :] = 0.499
+        margin = self._select(chip, "margin")
+        stratified = self._select(chip, "stratified")
+        margin_regions = {r for _, r, _ in self._strata(margin, chip)}
+        stratified_regions = {r for _, r, _ in self._strata(stratified, chip)}
+        assert margin_regions == {0}
+        assert len(stratified_regions) > 1
+
+    def test_stratified_picks_are_still_marginal_cells(self, deployed_chip):
+        chip, _ = deployed_chip
+        for canary in self._select(chip, "stratified"):
+            vmin = chip.memory[canary.bank].cells.vmin_read[canary.address, canary.bit]
+            assert vmin <= 0.50
+
+    def test_stratified_respects_count_and_used_words(self, deployed_chip):
+        chip, program = deployed_chip
+        selector = CanarySelector(
+            canaries_per_bank=4, strategy="oracle", placement="stratified"
+        )
+        canaries = selector.select(
+            chip.memory, 0.50, used_words_per_bank=program.placement.words_used_per_pe
+        )
+        per_bank = {}
+        for canary in canaries:
+            per_bank.setdefault(canary.bank, []).append(canary)
+            assert canary.address < program.placement.words_used_per_pe[canary.bank]
+        assert all(len(v) <= 4 for v in per_bank.values())
+
+    def test_stratified_profiled_strategy_also_spreads(self, deployed_chip):
+        chip, program = deployed_chip
+        selector = CanarySelector(
+            canaries_per_bank=6, strategy="profiled", placement="stratified"
+        )
+        canaries = selector.select(
+            chip.memory, 0.50, used_words_per_bank=program.placement.words_used_per_pe
+        )
+        assert canaries
+        for canary in canaries:
+            vmin = chip.memory[canary.bank].cells.vmin_read[canary.address, canary.bit]
+            assert 0.50 - 0.005 * 21 <= vmin <= 0.50

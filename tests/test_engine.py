@@ -451,6 +451,7 @@ class TestDriverCLIs:
         "table2_energy_scenarios",
         "table3_comparison",
         "scaling_geometry",
+        "variation_scenarios",
     ])
     def test_help_exits_cleanly_with_shared_flags(self, module_name, capsys):
         module = importlib.import_module(f"repro.experiments.{module_name}")

@@ -134,6 +134,59 @@ class TestTrainingDrivers:
         assert result.voltage_temperature_correlation < 0.0
         for step in result.steps:
             assert 0.40 <= step.sram_voltage <= 0.62
+            assert step.vmin_shift == 0.0  # no aging by default
+
+    def test_fig12_rejects_sharding_with_clear_error(self):
+        from repro.experiments.engine import ShardSpec, SweepRunner
+
+        with pytest.raises(ValueError, match="stateful and cannot be sharded"):
+            run_fig12(
+                benchmark="inversek2j",
+                num_samples=400,
+                adaptive_epochs=15,
+                seed=4,
+                runner=SweepRunner(workers=1, shard=ShardSpec(0, 2)),
+            )
+
+    def test_fig12_cli_rejects_shard_flag(self, capsys):
+        from repro.experiments.fig12_temperature import main
+
+        with pytest.raises(SystemExit) as info:
+            main(["--shard", "0/2", "--num-samples", "400"])
+        assert info.value.code != 0
+        assert "cannot be sharded" in capsys.readouterr().err
+
+    def test_fig12_accepts_workers_1_runner(self):
+        from repro.experiments.engine import SweepRunner
+
+        result = run_fig12(
+            benchmark="inversek2j",
+            num_samples=400,
+            adaptive_epochs=15,
+            seed=4,
+            runner=SweepRunner(workers=1),
+        )
+        assert len(result.steps) == 11
+
+    def test_fig12_aging_trajectory_accumulates_vmin_shift(self):
+        result = run_fig12(
+            benchmark="inversek2j",
+            num_samples=400,
+            adaptive_epochs=15,
+            seed=4,
+            dwell_hours=2.0,
+            aging_vmin_shift_per_hour=1e-4,
+        )
+        shifts = [step.vmin_shift for step in result.steps]
+        assert shifts == sorted(shifts)
+        assert shifts[0] == pytest.approx(0.0)
+        # 11 steps x 2 h dwell at 1e-4 V/h: last step carries 10x2x1e-4 V
+        assert shifts[-1] == pytest.approx(2e-3)
+        # an aged chip cannot regulate below a fresh one at the same step
+        fresh = run_fig12(
+            benchmark="inversek2j", num_samples=400, adaptive_epochs=15, seed=4
+        )
+        assert result.steps[-1].sram_voltage >= fresh.steps[-1].sram_voltage - 1e-9
 
 
 class TestTable1Construction:

@@ -350,3 +350,66 @@ class TestFaultMapProperties:
         for fault in fm.faults:
             mapped[fault.address] |= np.uint64(1 << fault.bit)
         assert np.all((flipped & ~mapped) == 0)
+
+
+class TestClusteringDiagnostics:
+    """Run-length and autocorrelation diagnostics on known fault patterns."""
+
+    def test_empty_map_summary_is_zero(self):
+        summary = FaultMap(8, 16).clustering_summary()
+        assert summary["fault_rate"] == 0.0
+        assert summary["mean_row_run"] == 0.0
+        assert summary["max_row_run"] == 0
+        assert summary["mean_column_run"] == 0.0
+        assert summary["max_column_run"] == 0
+        assert summary["row_autocorrelation"] == 0.0
+        assert summary["column_autocorrelation"] == 0.0
+
+    def test_run_lengths_on_known_pattern(self):
+        fm = FaultMap(8, 16)
+        for bit in (2, 3, 4):  # one horizontal run of 3 in word 0
+            fm.add(BitFault(0, bit, 1))
+        fm.add(BitFault(5, 0, 0))  # plus an isolated fault
+        assert sorted(fm.fault_run_lengths("row").tolist()) == [1, 3]
+        # vertically every fault is isolated: four runs of 1
+        assert sorted(fm.fault_run_lengths("column").tolist()) == [1, 1, 1, 1]
+
+    def test_runs_do_not_join_across_line_boundaries(self):
+        fm = FaultMap(2, 4)
+        for bit in (2, 3):  # run touching the end of word 0...
+            fm.add(BitFault(0, bit, 1))
+        for bit in (0, 1):  # ...and a run starting word 1
+            fm.add(BitFault(1, bit, 1))
+        assert sorted(fm.fault_run_lengths("row").tolist()) == [2, 2]
+
+    def test_full_row_has_perfect_row_autocorrelation(self):
+        fm = FaultMap(8, 16)
+        for bit in range(16):
+            fm.add(BitFault(3, bit, 1))
+        assert fm.spatial_autocorrelation("row") == pytest.approx(1.0)
+        assert fm.spatial_autocorrelation("column") < fm.spatial_autocorrelation("row")
+        assert fm.clustering_summary()["max_row_run"] == 16
+
+    def test_full_column_has_perfect_column_autocorrelation(self):
+        fm = FaultMap(8, 16)
+        for address in range(8):
+            fm.add(BitFault(address, 5, 1))
+        assert fm.spatial_autocorrelation("column") == pytest.approx(1.0)
+        assert fm.clustering_summary()["max_column_run"] == 8
+
+    def test_degenerate_maps_report_zero_autocorrelation(self):
+        full = FaultMap(4, 4)
+        for address in range(4):
+            for bit in range(4):
+                full.add(BitFault(address, bit, 1))
+        assert full.spatial_autocorrelation("row") == 0.0  # zero variance
+        single_word = FaultMap(1, 4)
+        single_word.add(BitFault(0, 1, 1))
+        assert single_word.spatial_autocorrelation("column") == 0.0
+
+    def test_invalid_axis_rejected(self):
+        fm = FaultMap(4, 4)
+        with pytest.raises(ValueError):
+            fm.fault_run_lengths("diagonal")
+        with pytest.raises(ValueError):
+            fm.spatial_autocorrelation("diagonal")
