@@ -1,0 +1,235 @@
+"""Elastic queue-backend chaos benchmark (BENCH_elastic.json).
+
+Exercises the fault-tolerant sweep service end to end on a real driver grid
+(the Fig. 10 ``inversek2j`` voltage sweep) and records the three guarantees
+the queue backend sells:
+
+1. **elastic_kill** — the grid runs on a ``QueueBackend`` with 4 workers and
+   a seeded :class:`FaultPlan` that SIGKILLs two of them mid-flight (one
+   while holding a freshly-claimed lease, one right after a publish).  The
+   merged result must be **bit-identical** to the ``SerialBackend``
+   reference — same floats, not merely close.
+2. **resume** — a brand-new coordinator over the same artifact store re-runs
+   the same sweep and must recompute **zero** published tasks (everything
+   recalled from the store).
+3. **poison** — a deterministically failing task, with ``retries=1``, must
+   be quarantined after exactly 2 attempts and reported in the merged
+   result as a :class:`QuarantinedTask` instead of deadlocking the sweep.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_elastic.py
+
+Appends a session record to ``BENCH_elastic.json`` at the repository root
+and exits non-zero on any violated guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from _bench_records import append_record  # noqa: E402
+from repro.experiments.cache import ArtifactCache  # noqa: E402
+from repro.experiments.engine import (  # noqa: E402
+    QuarantinedTask,
+    SweepRunner,
+    expand_grid,
+)
+from repro.experiments.faults import FaultPlan, KillWorker  # noqa: E402
+from repro.experiments.fig10_error_vs_voltage import run_fig10  # noqa: E402
+from repro.experiments.queue import QueueBackend  # noqa: E402
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_elastic.json"
+
+BENCHMARK = "inversek2j"
+# all overscaled (< nominal threshold): 6 adaptive tasks + 1 batched naive
+# task = 7 tasks, enough for both chaos kills to fire before the queue drains
+VOLTAGES = (0.46, 0.48, 0.50, 0.52, 0.54, 0.56)
+NUM_SAMPLES = 240
+ADAPTIVE_EPOCHS = 4
+SWEEP_LABEL = "bench-elastic-fig10"
+
+
+def _points(result) -> list[tuple]:
+    return [
+        (
+            sweep.benchmark,
+            sweep.nominal_error,
+            point.voltage,
+            point.bit_fault_rate,
+            point.naive_error,
+            point.adaptive_error,
+        )
+        for sweep in result.sweeps
+        for point in sweep.points
+    ]
+
+
+def _run_fig10(store: ArtifactCache, runner: SweepRunner):
+    return run_fig10(
+        benchmarks=(BENCHMARK,),
+        voltages=VOLTAGES,
+        num_samples=NUM_SAMPLES,
+        adaptive_epochs=ADAPTIVE_EPOCHS,
+        runner=runner,
+        cache=store,
+    )
+
+
+def _queue_runner(store: ArtifactCache, backend: QueueBackend, workers: int):
+    return SweepRunner(
+        workers=workers,
+        backend=backend,
+        shard_store=store,
+        sweep_label=SWEEP_LABEL,
+    )
+
+
+def bench_elastic_kill(store: ArtifactCache) -> tuple[dict, list[tuple]]:
+    start = time.perf_counter()
+    reference = _run_fig10(store, SweepRunner(workers=1))
+    serial_seconds = time.perf_counter() - start
+
+    plan = FaultPlan(
+        rules=(
+            KillWorker(worker=0, after_tasks=1, phase="claim"),
+            KillWorker(worker=1, after_tasks=1, phase="publish"),
+        )
+    )
+    backend = QueueBackend(
+        store=store,
+        lease_seconds=1.0,
+        poll_seconds=0.02,
+        backoff=0.05,
+        respawn=False,
+        fault_plan=plan,
+    )
+    start = time.perf_counter()
+    chaos = _run_fig10(store, _queue_runner(store, backend, workers=4))
+    chaos_seconds = time.perf_counter() - start
+
+    reference_points = _points(reference)
+    return {
+        "grid_tasks": backend.last_stats["tasks"],
+        "workers": 4,
+        "workers_killed": backend.last_stats["worker_deaths"],
+        "quarantined": backend.last_stats["quarantined"],
+        "bit_identical": _points(chaos) == reference_points,
+        "serial_seconds": round(serial_seconds, 6),
+        "chaos_seconds": round(chaos_seconds, 6),
+    }, reference_points
+
+
+def bench_resume(store: ArtifactCache, reference_points: list[tuple]) -> dict:
+    backend = QueueBackend(store=store, poll_seconds=0.02)
+    start = time.perf_counter()
+    resumed = _run_fig10(store, _queue_runner(store, backend, workers=2))
+    resume_seconds = time.perf_counter() - start
+    return {
+        "recalled_tasks": backend.last_stats["recalled"],
+        "recomputed_tasks": backend.last_stats["enqueued"],
+        "bit_identical": _points(resumed) == reference_points,
+        "resume_seconds": round(resume_seconds, 6),
+    }
+
+
+def _flaky_worker(shared, task):
+    if task.voltage == shared["bad"]:
+        raise RuntimeError("injected poison")
+    return task.voltage * 2.0
+
+
+def bench_poison(store: ArtifactCache) -> dict:
+    tasks = expand_grid(voltages=(0.42, 0.46, 0.50, 0.54, 0.58), seed=5)
+    shared = {"bad": 0.50}
+    backend = QueueBackend(store=store, poll_seconds=0.02, backoff=0.02)
+    runner = SweepRunner(
+        workers=2,
+        backend=backend,
+        shard_store=store,
+        sweep_label="bench-elastic-poison",
+        retries=1,
+    )
+    start = time.perf_counter()
+    results = runner.map(_flaky_worker, tasks, shared=shared)
+    poison_seconds = time.perf_counter() - start
+    poisoned = [r for r in results if isinstance(r, QuarantinedTask)]
+    healthy_ok = [
+        r for r in results if not isinstance(r, QuarantinedTask)
+    ] == [t.voltage * 2.0 for t in tasks if t.voltage != shared["bad"]]
+    return {
+        "grid_tasks": len(tasks),
+        "retries": 1,
+        "poisoned_tasks": len(poisoned),
+        "poison_attempts": poisoned[0].attempts if poisoned else None,
+        "poison_error": poisoned[0].errors[-1] if poisoned else None,
+        "healthy_results_intact": healthy_ok,
+        "poison_seconds": round(poison_seconds, 6),
+    }
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-elastic-") as cache_dir:
+        store = ArtifactCache(root=Path(cache_dir) / "cache")
+        elastic_kill, reference_points = bench_elastic_kill(store)
+        resume = bench_resume(store, reference_points)
+        poison = bench_poison(store)
+
+    session = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "elastic_kill": elastic_kill,
+        "resume": resume,
+        "poison": poison,
+    }
+    append_record(
+        RECORD_PATH,
+        session,
+        suite="elastic-queue-chaos",
+        headline={
+            "latest_bit_identical": elastic_kill["bit_identical"],
+            "latest_resume_recomputed": resume["recomputed_tasks"],
+            "latest_poisoned": poison["poisoned_tasks"],
+        },
+    )
+    print(json.dumps(session, indent=2))
+
+    failures = []
+    if not elastic_kill["bit_identical"]:
+        failures.append("chaos run diverged from the serial reference")
+    if elastic_kill["workers_killed"] != 2:
+        failures.append(
+            f"fault plan killed {elastic_kill['workers_killed']} workers, expected 2"
+        )
+    if elastic_kill["quarantined"] != 0:
+        failures.append("healthy chaos run quarantined a task")
+    if resume["recomputed_tasks"] != 0:
+        failures.append(
+            f"restart recomputed {resume['recomputed_tasks']} published task(s)"
+        )
+    if not resume["bit_identical"]:
+        failures.append("resumed run diverged from the serial reference")
+    if poison["poisoned_tasks"] != 1:
+        failures.append(
+            f"expected exactly 1 quarantined task, got {poison['poisoned_tasks']}"
+        )
+    if poison["poison_attempts"] != 2:
+        failures.append(
+            f"poison task took {poison['poison_attempts']} attempts, "
+            "expected retries + 1 = 2"
+        )
+    if not poison["healthy_results_intact"]:
+        failures.append("poisoning one task disturbed the healthy results")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

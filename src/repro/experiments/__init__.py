@@ -25,7 +25,10 @@ All drivers execute through the sweep engine
 tasks that run serially or on a multiprocessing pool with identical results,
 and heavyweight artifacts (float baselines, memory-adaptive fine-tuning,
 topology-sweep fits) are memoized by the content-addressed artifact cache
-(:mod:`repro.experiments.cache`).
+(:mod:`repro.experiments.cache`).  For sweeps that must survive worker
+death, the elastic queue backend (:mod:`repro.experiments.queue`) adds
+lease-based claiming, retries with quarantine, and zero-recompute resume;
+:mod:`repro.experiments.faults` is its deterministic chaos harness.
 
 The engine/cache/common core is imported eagerly; the nine driver modules
 load lazily (PEP 562).  Laziness is not an import-time optimization: it
@@ -59,6 +62,8 @@ from .common import (
 )
 from .engine import (
     ProcessBackend,
+    QuarantinedTask,
+    RetryingWorker,
     SerialBackend,
     ShardIncompleteError,
     ShardSpec,
@@ -66,11 +71,16 @@ from .engine import (
     SweepExecution,
     SweepRunner,
     SweepTask,
+    TaskTimeoutError,
     ThreadBackend,
+    WorkerCrashedError,
     expand_grid,
     resolve_backend,
+    retry_delay,
     task_digest,
 )
+from .faults import DelayTask, FaultPlan, KillWorker, SuppressHeartbeat
+from .queue import QueueBackend
 #: Lazily exported driver attributes: name -> submodule that defines it.
 _DRIVER_EXPORTS = {
     "run_fig5": "fig05_mat_sweep",
@@ -114,17 +124,26 @@ def __dir__() -> list[str]:
 
 __all__ = [
     "ArtifactCache",
+    "DelayTask",
     "ExperimentResult",
+    "FaultPlan",
+    "KillWorker",
     "PreparedBenchmark",
     "ProcessBackend",
+    "QuarantinedTask",
+    "QueueBackend",
+    "RetryingWorker",
     "SerialBackend",
     "ShardIncompleteError",
     "ShardSpec",
+    "SuppressHeartbeat",
     "SweepBackend",
     "SweepExecution",
     "SweepRunner",
     "SweepTask",
+    "TaskTimeoutError",
     "ThreadBackend",
+    "WorkerCrashedError",
     "cache_digest",
     "collect_shard_results",
     "default_cache",
@@ -132,6 +151,7 @@ __all__ = [
     "shard_result_key",
     "expand_grid",
     "resolve_backend",
+    "retry_delay",
     "task_digest",
     "experiment_parser",
     "run_experiment_cli",

@@ -36,8 +36,11 @@ hits inside one session skip the unpickling.
 Maintenance
 -----------
 :meth:`ArtifactCache.disk_stats` reports per-kind entry counts and byte
-sizes, :meth:`ArtifactCache.clear` empties the store, and
-:meth:`ArtifactCache.prune` evicts artifacts by age.  With a byte budget
+sizes, :meth:`ArtifactCache.clear` empties the store,
+:meth:`ArtifactCache.prune` evicts artifacts by age, and
+:meth:`ArtifactCache.verify` scans for corrupt (truncated/unreadable)
+entries — reads already degrade those to a miss, ``verify`` makes the
+damage visible and optionally reclaims it.  With a byte budget
 configured (the ``size_budget_bytes`` field or ``$REPRO_CACHE_BUDGET``,
 e.g. ``512M``), :meth:`ArtifactCache.put` opportunistically runs an LRU
 eviction sweep (:meth:`ArtifactCache.evict_to_budget`) every
@@ -47,13 +50,29 @@ the budget again.  The same operations are exposed on the command line::
 
     python -m repro.experiments.cache stats
     python -m repro.experiments.cache clear
-    python -m repro.experiments.cache prune --older-than 7d
+    python -m repro.experiments.cache prune --older-than 7d [--corrupt]
     python -m repro.experiments.cache evict --budget 512M
+    python -m repro.experiments.cache verify [--remove]
+
+Coordination primitives
+-----------------------
+The fault-tolerant queue backend (:mod:`repro.experiments.queue`) builds
+its worker-coordination protocol on the same filesystem guarantees this
+module already relies on: :func:`acquire_lease` claims a task atomically
+(``O_CREAT | O_EXCL`` via a hard link of a fully written temp file, so a
+lease is never observable half-written), :func:`renew_lease` refreshes the
+heartbeat deadline with the same atomic-replace idiom as :meth:`put`, and
+:func:`steal_lease` takes an expired lease with ``os.replace`` so exactly
+one of N concurrent stealers wins.  Quarantined (poison) tasks are ordinary
+content-addressed artifacts under the ``sweep-poison`` kind
+(:data:`POISON_KIND`/:func:`poison_key`), so resume, dedup, ``stats``, and
+``prune`` all treat them like any other artifact.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import math
 import os
 import pickle
@@ -71,12 +90,20 @@ import numpy as np
 __all__ = [
     "ArtifactCache",
     "CacheStats",
+    "POISON_KIND",
     "SHARD_RESULT_KIND",
+    "acquire_lease",
     "cache_digest",
     "collect_shard_results",
     "default_cache",
+    "lease_expired",
+    "poison_key",
+    "read_lease",
+    "release_lease",
+    "renew_lease",
     "set_default_cache",
     "shard_result_key",
+    "steal_lease",
     "parse_age",
     "parse_size",
     "main",
@@ -509,6 +536,42 @@ class ArtifactCache:
         )
         return removed + tmp_removed, freed + tmp_freed
 
+    def verify(
+        self, kind: str | None = None, remove: bool = False
+    ) -> list[dict[str, str]]:
+        """Scan stored artifacts for corruption; optionally delete the damage.
+
+        Reads already degrade a truncated or otherwise unreadable pickle to a
+        cache miss, so corruption never crashes a driver — but it silently
+        costs a recomputation every time the entry is touched, and the dead
+        bytes count against the size budget forever.  ``verify`` loads every
+        entry (of one ``kind``, or all) and reports the ones that fail as
+        ``{"kind", "path", "error"}`` records; with ``remove=True`` they are
+        unlinked (and dropped from the memory layer) so the next ``put``
+        rewrites them cleanly.
+        """
+        corrupt: list[dict[str, str]] = []
+        for kind_name, path in self._artifact_files(kind):
+            try:
+                with open(path, "rb") as handle:
+                    pickle.load(handle)
+            except Exception as error:
+                corrupt.append(
+                    {
+                        "kind": kind_name,
+                        "path": str(path),
+                        "error": f"{type(error).__name__}: {error}",
+                    }
+                )
+                if remove:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+                    with self._memory_lock:
+                        self._memory.pop(f"{kind_name}/{path.stem}", None)
+        return corrupt
+
     def __getstate__(self) -> dict:
         # keep pickles small when a cache rides inside a worker payload: the
         # in-process layer is a per-process optimization, not shared state
@@ -544,6 +607,23 @@ def shard_result_key(sweep: str, worker: str, task_digest: str) -> dict[str, str
     return {"sweep": str(sweep), "worker": str(worker), "task": str(task_digest)}
 
 
+#: Artifact kind for tasks the queue backend quarantined after exhausting
+#: their retry budget.  A poison entry is the task's terminal state: resumes
+#: and concurrent sweeps recall it instead of re-executing a task that is
+#: known to fail, and the coordinator reports it in the merged result rather
+#: than deadlocking the sweep waiting for a result that will never publish.
+POISON_KIND = "sweep-poison"
+
+
+def poison_key(sweep: str, worker: str, task_digest: str) -> dict[str, str]:
+    """Store key of one quarantined task (same namespace axes as results).
+
+    Mirrors :func:`shard_result_key` exactly — a task digest resolves to at
+    most one of (published result, poison entry) per ``(sweep, worker)``.
+    """
+    return {"sweep": str(sweep), "worker": str(worker), "task": str(task_digest)}
+
+
 def collect_shard_results(
     cache: ArtifactCache, sweep: str, worker: str, task_digests: list[str]
 ) -> tuple[dict[str, Any], list[str]]:
@@ -564,6 +644,151 @@ def collect_shard_results(
         else:
             found[digest] = payload
     return found, missing
+
+
+# ------------------------------------------------------------- lease files
+#
+# The queue backend's mutual-exclusion primitive.  A lease is a small JSON
+# file next to the queued task; holding it means "this worker is executing
+# the task".  The protocol needs exactly three filesystem guarantees, all of
+# which the artifact store already depends on: atomic create-if-absent
+# (claim), atomic replace (heartbeat renewal), and atomic rename (steal).
+# Readers therefore always see a complete lease or none — never a torn one —
+# and an unreadable lease can safely be treated as expired, because stealing
+# it is itself atomic (exactly one stealer wins the rename).
+
+
+def acquire_lease(
+    path: Path | str,
+    owner: str,
+    lease_seconds: float,
+    hard_deadline: float | None = None,
+) -> bool:
+    """Atomically claim a lease file; ``True`` iff this caller created it.
+
+    The lease is written to a temp file first and linked into place with
+    ``os.link`` (atomic create-if-absent *with* content, unlike a bare
+    ``O_CREAT | O_EXCL`` open followed by a write, which would expose an
+    empty lease between the two syscalls).  ``heartbeat_deadline`` starts at
+    now + ``lease_seconds`` and is pushed forward by :func:`renew_lease`;
+    ``hard_deadline`` (the ``--task-timeout`` bound) is absolute and never
+    renewed, so even a worker whose heartbeat thread stays alive cannot hold
+    a task past it.
+    """
+    now = time.time()
+    payload = json.dumps(
+        {
+            "owner": str(owner),
+            "acquired": now,
+            "heartbeat_deadline": now + float(lease_seconds),
+            "hard_deadline": float(hard_deadline) if hard_deadline is not None else None,
+        }
+    )
+    path = Path(path)
+    temp_name = None
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        with os.fdopen(handle, "w") as temp_file:
+            temp_file.write(payload)
+        os.link(temp_name, path)
+    except FileExistsError:
+        return False
+    except OSError:
+        return False
+    finally:
+        if temp_name is not None:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+    return True
+
+
+def read_lease(path: Path | str) -> dict[str, Any] | None:
+    """The lease's JSON payload, or None (absent, unreadable, or corrupt)."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def lease_expired(
+    lease: Mapping[str, Any] | None, now: float | None = None
+) -> bool:
+    """Whether a lease may be stolen: past either deadline, or unreadable."""
+    if lease is None:
+        return True
+    now = time.time() if now is None else now
+    heartbeat = lease.get("heartbeat_deadline")
+    hard = lease.get("hard_deadline")
+    if isinstance(heartbeat, (int, float)) and now > heartbeat:
+        return True
+    if isinstance(hard, (int, float)) and now > hard:
+        return True
+    # a lease carrying neither deadline is malformed; holding it forever
+    # would deadlock the queue, so it counts as expired too
+    return not isinstance(heartbeat, (int, float)) and not isinstance(hard, (int, float))
+
+
+def renew_lease(path: Path | str, owner: str, lease_seconds: float) -> bool:
+    """Push the heartbeat deadline forward if ``owner`` still holds the lease.
+
+    Returns ``False`` when the lease was stolen (or the rewrite failed) —
+    the worker keeps executing regardless, because publishing the result is
+    idempotent; the thief merely re-runs the task redundantly.
+    """
+    path = Path(path)
+    lease = read_lease(path)
+    if lease is None or lease.get("owner") != str(owner):
+        return False
+    lease["heartbeat_deadline"] = time.time() + float(lease_seconds)
+    temp_name = None
+    try:
+        handle, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        with os.fdopen(handle, "w") as temp_file:
+            temp_file.write(json.dumps(lease))
+        os.replace(temp_name, path)
+    except OSError:
+        if temp_name is not None:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+        return False
+    return True
+
+
+def steal_lease(path: Path | str) -> dict[str, Any] | None:
+    """Atomically take a lease off its task: exactly one concurrent caller wins.
+
+    The winner receives the stolen lease's payload (``{}`` if unreadable) and
+    owns the requeue decision; losers (and calls on an already-stolen lease)
+    get ``None``.  Implemented as ``os.replace`` to a caller-unique name, so
+    there is no read-check-unlink window for two stealers to race through.
+    """
+    path = Path(path)
+    unique = f".steal-{os.getpid()}-{threading.get_ident()}-{time.monotonic_ns()}"
+    target = path.with_name(path.name + unique)
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None
+    lease = read_lease(target) or {}
+    try:
+        os.unlink(target)
+    except OSError:
+        pass
+    return lease
+
+
+def release_lease(path: Path | str) -> None:
+    """Drop a lease (idempotent; releasing a stolen/absent lease is a no-op)."""
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
 
 
 #: Last invalid $REPRO_CACHE_BUDGET value warned about (warn once per value).
@@ -664,6 +889,18 @@ def main(argv: list[str] | None = None) -> int:
         help="evict artifacts older than AGE (e.g. 3600, 45s, 12h, 7d)",
     )
     prune_parser.add_argument("--kind", default=None, help="only this artifact kind")
+    prune_parser.add_argument(
+        "--corrupt",
+        action="store_true",
+        help="also delete corrupt (truncated/unreadable) artifacts of any age",
+    )
+    verify_parser = commands.add_parser(
+        "verify", help="scan stored artifacts for corrupt (unreadable) entries"
+    )
+    verify_parser.add_argument("--kind", default=None, help="only this artifact kind")
+    verify_parser.add_argument(
+        "--remove", action="store_true", help="delete the corrupt entries found"
+    )
     evict_parser = commands.add_parser(
         "evict", help="LRU-evict oldest artifacts down to a byte budget"
     )
@@ -711,6 +948,15 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as error:
             parser.error(str(error))
         print(f"evicted {removed} entries, freed {_format_bytes(freed)}")
+    elif args.command == "verify":
+        try:
+            corrupt = cache.verify(kind=args.kind, remove=args.remove)
+        except ValueError as error:
+            parser.error(str(error))
+        for entry in corrupt:
+            print(f"corrupt [{entry['kind']}] {entry['path']}: {entry['error']}")
+        verb = "removed" if args.remove else "found"
+        print(f"{verb} {len(corrupt)} corrupt entries")
     else:
         try:
             age = parse_age(args.older_than)
@@ -721,6 +967,11 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as error:
             parser.error(str(error))
         print(f"pruned {removed} entries, freed {_format_bytes(freed)}")
+        if args.corrupt:
+            corrupt = cache.verify(kind=args.kind, remove=True)
+            for entry in corrupt:
+                print(f"corrupt [{entry['kind']}] {entry['path']}: {entry['error']}")
+            print(f"removed {len(corrupt)} corrupt entries")
     return 0
 
 

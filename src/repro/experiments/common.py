@@ -34,12 +34,16 @@ Every driver module is runnable (``python -m repro.experiments.<driver>``)
 and shares one execution vocabulary, wired through
 :func:`experiment_parser` / :func:`run_experiment_cli`:
 
-* ``--workers N`` / ``--backend {serial,process,thread}`` pick the execution
-  backend (defaults honour ``$REPRO_SWEEP_WORKERS`` / ``$REPRO_SWEEP_BACKEND``);
+* ``--workers N`` / ``--backend {serial,process,thread,queue}`` pick the
+  execution backend (defaults honour ``$REPRO_SWEEP_WORKERS`` /
+  ``$REPRO_SWEEP_BACKEND``);
 * ``--shard I/N`` runs one deterministic slice of the grid and merges the
   full table through the artifact cache once every shard has published;
 * ``--stream`` prints each grid point as it completes (the engine's
-  ``as_completed`` channel) instead of only the final table.
+  ``as_completed`` channel) instead of only the final table;
+* ``--retries/--task-timeout/--backoff`` configure the failure policy
+  (retries work on every backend; timeouts need a backend that can preempt
+  a task — queue and process; see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -334,8 +338,20 @@ class ExperimentResult:
 
 #: argparse destinations that select *how* a sweep executes rather than what
 #: it computes.  They are excluded from the shard-store namespace so any mix
-#: of shards, backends, and worker counts over one configuration merges.
-_EXECUTION_ARGS = frozenset({"workers", "backend", "shard", "stream", "cache_dir"})
+#: of shards, backends, worker counts, and failure policies over one
+#: configuration merges (a retried result is still the same result).
+_EXECUTION_ARGS = frozenset(
+    {
+        "workers",
+        "backend",
+        "shard",
+        "stream",
+        "cache_dir",
+        "retries",
+        "task_timeout",
+        "backoff",
+    }
+)
 
 
 def experiment_parser(prog: str, description: str) -> argparse.ArgumentParser:
@@ -378,6 +394,34 @@ def experiment_parser(prog: str, description: str) -> argparse.ArgumentParser:
         help="artifact cache directory (default: $REPRO_CACHE_DIR or "
         "~/.cache/repro-matic)",
     )
+    group.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="failed-task retry budget: attempt each task at most N+1 times. "
+        "honored on every backend (queue requeues with backoff and "
+        "quarantines once spent; serial/process/thread retry in-worker and "
+        "re-raise). default: 0 (queue backend: 2)",
+    )
+    group.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task hang bound. queue backend: hard lease deadline after "
+        "which the task is stolen and requeued; process backend: stall "
+        "detection (no completion within the window fails the sweep). "
+        "serial/thread backends cannot preempt a task and ignore it",
+    )
+    group.add_argument(
+        "--backoff",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="base delay between retry attempts; doubles per attempt with "
+        "deterministic per-task jitter (default: 0.5)",
+    )
     return parser
 
 
@@ -413,6 +457,9 @@ def runner_from_args(
         shard_store=cache,
         sweep_label=label,
         progress=_stream_progress if args.stream else None,
+        retries=getattr(args, "retries", None),
+        task_timeout=getattr(args, "task_timeout", None),
+        backoff=getattr(args, "backoff", None),
     )
     return runner, cache
 

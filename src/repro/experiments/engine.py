@@ -29,14 +29,35 @@ Execution is delegated to a :class:`SweepBackend`:
   hot loops release the GIL inside NumPy (no pickling at all; the shared
   payload is handed to every thread by reference, so workers must treat it
   as read-only).
+* ``QueueBackend`` (:mod:`repro.experiments.queue`) — the fault-tolerant
+  elastic backend: a shared-directory task queue with lease-based claims,
+  heartbeat renewal, work-stealing re-execution of dead workers' tasks, and
+  poison quarantine.  See :doc:`docs/robustness`.
 
 ``SweepRunner(backend=...)`` accepts a backend name or instance; ``None``
 falls back to ``$REPRO_SWEEP_BACKEND`` and finally to ``"process"``.  A
 single worker (or ``parallel=False``, used by sweeps whose points
 intentionally share mutable state — the Fig. 12 temperature schedule walks
 one chip through a chamber) always takes the serial path, preserving
-in-order, in-process execution.  The worker count defaults to
-``$REPRO_SWEEP_WORKERS`` or the CPU count.
+in-order, in-process execution — except on the queue backend, whose
+publish/lease/resume semantics are the point even at one worker.  The
+worker count defaults to ``$REPRO_SWEEP_WORKERS`` or the CPU count.
+
+Robustness
+----------
+``SweepRunner(retries=..., task_timeout=..., backoff=...)`` configures the
+failure policy.  Retries are honored on *every* backend: the queue backend
+requeues failed tasks natively (with exponential backoff + deterministic
+jitter, see :func:`retry_delay`, then quarantines them as
+:class:`QuarantinedTask` once the budget is spent); the serial/process/
+thread backends wrap the worker in :class:`RetryingWorker`, which retries
+in place and re-raises once the budget is spent.  ``task_timeout`` needs a
+backend that can preempt a task, so it is honored by the queue backend (as
+the lease's hard deadline) and the process backend (as a stall detector
+raising :class:`TaskTimeoutError`); serial/thread backends document-ignore
+it.  A process-pool worker killed by signal (SIGKILL, OOM) surfaces as
+:class:`WorkerCrashedError` naming the in-flight tasks instead of an opaque
+``BrokenProcessPool``.
 
 Streaming
 ---------
@@ -62,9 +83,11 @@ the complete, ordered result list — bit-identical to an unsharded run.
 from __future__ import annotations
 
 import concurrent.futures
+import hashlib
 import multiprocessing
 import os
 import sys
+import time
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass, field, replace
 from typing import Any, Protocol, runtime_checkable
@@ -73,10 +96,12 @@ import numpy as np
 
 from .cache import (
     ArtifactCache,
+    POISON_KIND,
     SHARD_RESULT_KIND,
     cache_digest,
     collect_shard_results,
     default_cache,
+    poison_key,
     shard_result_key,
 )
 
@@ -90,16 +115,26 @@ __all__ = [
     "ThreadBackend",
     "ShardSpec",
     "ShardIncompleteError",
+    "QuarantinedTask",
+    "RetryingWorker",
+    "TaskTimeoutError",
+    "WorkerCrashedError",
     "expand_grid",
     "resolve_backend",
+    "retry_delay",
+    "store_label",
     "task_digest",
+    "worker_identity",
 ]
 
 _ENV_WORKERS = "REPRO_SWEEP_WORKERS"
 _ENV_BACKEND = "REPRO_SWEEP_BACKEND"
 
 #: Names accepted by ``SweepRunner(backend=...)`` and ``$REPRO_SWEEP_BACKEND``.
-BACKEND_NAMES = ("serial", "process", "thread")
+BACKEND_NAMES = ("serial", "process", "thread", "queue")
+
+#: Default base delay (seconds) between retry attempts; see :func:`retry_delay`.
+DEFAULT_BACKOFF = 0.5
 
 
 @dataclass(frozen=True)
@@ -317,6 +352,168 @@ class ShardIncompleteError(RuntimeError):
         )
 
 
+# ---------------------------------------------------------------- robustness
+
+
+def retry_delay(
+    backoff: float, digest: str, attempt: int, cap: float = 60.0
+) -> float:
+    """Delay before re-attempting a failed task: exponential + jitter, capped.
+
+    ``backoff * 2**(attempt-1)`` doubles per attempt; the jitter factor in
+    ``[0.5, 1.5)`` is drawn deterministically from ``sha256(digest:attempt)``
+    rather than a live RNG, so retry schedules are reproducible run-to-run
+    (chaos tests can assert on them) while still de-synchronizing tasks that
+    failed together — e.g. every task a dead worker held when its lease
+    expired.
+    """
+    base = float(backoff) * (2.0 ** max(0, int(attempt) - 1))
+    token = hashlib.sha256(f"{digest}:{int(attempt)}".encode()).digest()
+    fraction = int.from_bytes(token[:8], "big") / float(1 << 64)
+    return min(float(cap), base * (0.5 + fraction))
+
+
+@dataclass(frozen=True)
+class QuarantinedTask:
+    """A task withdrawn from the sweep after exhausting its retry budget.
+
+    The queue backend yields this *in place of* the task's result (and
+    records it in the poison store), so a sweep with a poison task completes
+    with an inspectable report instead of deadlocking or tearing down the
+    whole grid.  Callers that must not silently consume one can check
+    ``getattr(value, "is_quarantined", False)`` — true only for this type —
+    without importing the engine.
+    """
+
+    task: SweepTask | None
+    digest: str
+    attempts: int
+    errors: tuple[str, ...] = ()
+
+    is_quarantined = True
+
+    def describe(self) -> str:
+        what = self.task.describe() if self.task is not None else self.digest[:12]
+        last = f": {self.errors[-1]}" if self.errors else ""
+        return f"quarantined after {self.attempts} attempt(s) — {what}{last}"
+
+
+@dataclass
+class RetryingWorker:
+    """Picklable wrapper retrying ``fn(shared, task)`` in place.
+
+    How the serial/process/thread backends honor ``SweepRunner(retries=)``:
+    the retry loop runs *inside* the worker (sleeping :func:`retry_delay`
+    between attempts), so those backends keep their execution model and
+    simply re-raise once the budget is spent.  The queue backend never sees
+    this wrapper — it requeues failures natively, across workers, and is
+    additionally able to retry tasks whose worker died rather than raised.
+    """
+
+    fn: Callable[[Any, SweepTask], Any]
+    retries: int
+    backoff: float = DEFAULT_BACKOFF
+
+    def __call__(self, shared: Any, task: SweepTask) -> Any:
+        attempt = 1
+        while True:
+            try:
+                return self.fn(shared, task)
+            except Exception:
+                if attempt > int(self.retries):
+                    raise
+                time.sleep(retry_delay(self.backoff, task_digest(task), attempt))
+                attempt += 1
+
+
+def worker_identity(fn: Callable[..., Any]) -> str:
+    """Qualified name of the user's worker function, unwrapping retry wrappers.
+
+    Shard-store and poison-store keys must name the *logical* worker: a run
+    with ``retries=2`` and a run with ``retries=0`` execute the same
+    function and must recall each other's published results.
+    """
+    while isinstance(fn, RetryingWorker):
+        fn = fn.fn
+    return f"{fn.__module__}.{getattr(fn, '__qualname__', fn.__name__)}"
+
+
+def store_label(sweep_label: str, shared: Any) -> str:
+    """The store namespace for a sweep: label + shared-payload digest.
+
+    The task digest covers only the task's own payload; the shared payload
+    configures the sweep too (e.g. fig9a's ``num_words``), so it must reach
+    the store key or two different configurations of one worker over one
+    grid would silently recall each other's results.  When the shared
+    payload has no canonical digest (it carries live objects), the caller
+    must vouch for the configuration with a non-empty ``sweep_label``.
+    """
+    try:
+        shared_digest = cache_digest({"shared": _digest_safe(shared)})
+    except TypeError:
+        shared_digest = None
+    if shared_digest is None and not sweep_label:
+        raise ValueError(
+            "this sweep's shared payload has no canonical digest, so the "
+            "shard store cannot distinguish configurations by content; pass "
+            "a sweep_label= that uniquely identifies this configuration"
+        )
+    if shared_digest is None:
+        return sweep_label
+    return f"{sweep_label}#{shared_digest[:16]}"
+
+
+class WorkerCrashedError(RuntimeError):
+    """A pool worker died by signal (SIGKILL, OOM kill) mid-sweep.
+
+    The process pool cannot tell which of its in-flight tasks the dead
+    worker held, so every task that never completed is listed.  The queue
+    backend turns this exact failure into a lease expiry + requeue instead
+    of an error — hence the suggestion.
+    """
+
+    def __init__(self, in_flight: Sequence[SweepTask], backend: str = "process"):
+        self.in_flight = list(in_flight)
+        shown = [
+            f"{task.describe()} [{task_digest(task)[:12]}]"
+            for task in self.in_flight[:3]
+        ]
+        more = f" (+{len(self.in_flight) - 3} more)" if len(self.in_flight) > 3 else ""
+        super().__init__(
+            f"a {backend}-pool worker died by signal (SIGKILL/OOM) with "
+            f"{len(self.in_flight)} task(s) in flight or queued: "
+            f"{'; '.join(shown)}{more} — completed results are lost with the "
+            "pool; re-run with --backend queue for automatic recovery "
+            "(expired leases requeue and surviving workers steal the work)"
+        )
+
+
+class TaskTimeoutError(RuntimeError):
+    """No task completed within ``task_timeout`` — the pool looks hung.
+
+    The process backend cannot preempt a single wedged task, so the timeout
+    is a *stall* bound: wall-clock since the last completion (or since
+    submission).  The queue backend enforces the same flag per-task, as the
+    lease's hard deadline, and requeues instead of raising.
+    """
+
+    def __init__(self, timeout: float, in_flight: Sequence[SweepTask]):
+        self.timeout = float(timeout)
+        self.in_flight = list(in_flight)
+        shown = [
+            f"{task.describe()} [{task_digest(task)[:12]}]"
+            for task in self.in_flight[:3]
+        ]
+        more = f" (+{len(self.in_flight) - 3} more)" if len(self.in_flight) > 3 else ""
+        super().__init__(
+            f"no task completed within --task-timeout {self.timeout:g}s; "
+            f"{len(self.in_flight)} task(s) still in flight or queued: "
+            f"{'; '.join(shown)}{more} — the process backend cannot requeue a "
+            "hung task; --backend queue steals its lease and retries it on a "
+            "surviving worker"
+        )
+
+
 # ------------------------------------------------------------------ backends
 
 # Per-worker globals installed by the pool initializer: the shared payload is
@@ -331,10 +528,11 @@ def _init_worker(fn: Callable[[Any, SweepTask], Any], shared: Any) -> None:
     _WORKER_SHARED = shared
 
 
-def _run_indexed_task(item: tuple[int, SweepTask]) -> tuple[int, Any]:
+def _run_indexed_chunk(
+    chunk: Sequence[tuple[int, SweepTask]],
+) -> list[tuple[int, Any]]:
     assert _WORKER_FN is not None, "worker used before initialization"
-    position, task = item
-    return position, _WORKER_FN(_WORKER_SHARED, task)
+    return [(position, _WORKER_FN(_WORKER_SHARED, task)) for position, task in chunk]
 
 
 @runtime_checkable
@@ -368,12 +566,24 @@ class SerialBackend:
 
 
 class ProcessBackend:
-    """``multiprocessing`` pool; the shared payload is pickled once per worker."""
+    """Process pool; the shared payload is pickled once per worker.
+
+    Failure semantics: a worker that *raises* propagates its exception to
+    the consumer (like every backend); a worker that *dies by signal*
+    (SIGKILL/OOM) raises :class:`WorkerCrashedError` naming the tasks that
+    never completed, instead of CPython's opaque ``BrokenProcessPool``.
+    With ``task_timeout`` set, a pool that goes ``task_timeout`` seconds
+    without completing anything raises :class:`TaskTimeoutError` (a stall
+    detector — the pool cannot preempt one wedged task).  Either way the
+    remaining workers are torn down; only the queue backend can requeue and
+    survive.
+    """
 
     name = "process"
 
-    def __init__(self, mp_context: str | None = None):
+    def __init__(self, mp_context: str | None = None, task_timeout: float | None = None):
         self.mp_context = mp_context
+        self.task_timeout = task_timeout
 
     def submit(self, fn, shared, tasks, workers, chunksize):
         # fork is only reliably safe on Linux: macOS lists it as available,
@@ -382,21 +592,54 @@ class ProcessBackend:
         method = self.mp_context or ("fork" if sys.platform == "linux" else "spawn")
         context = multiprocessing.get_context(method)
         items = list(enumerate(tasks))
+        step = max(1, int(chunksize))
+        chunks = [items[start : start + step] for start in range(0, len(items), step)]
+        timeout = self.task_timeout
+
+        def remaining_tasks(pending_chunks) -> list[SweepTask]:
+            return [task for chunk in pending_chunks for _, task in chunk]
 
         def stream() -> Iterator[tuple[int, Any]]:
-            pool = context.Pool(
-                processes=workers, initializer=_init_worker, initargs=(fn, shared)
+            executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(fn, shared),
             )
             try:
-                yield from pool.imap_unordered(
-                    _run_indexed_task, items, chunksize=max(1, chunksize)
-                )
-                pool.close()
+                pending = {
+                    executor.submit(_run_indexed_chunk, chunk): chunk
+                    for chunk in chunks
+                }
+                while pending:
+                    done, _ = concurrent.futures.wait(
+                        pending,
+                        timeout=timeout,
+                        return_when=concurrent.futures.FIRST_COMPLETED,
+                    )
+                    if not done:
+                        raise TaskTimeoutError(timeout, remaining_tasks(pending.values()))
+                    for future in done:
+                        chunk = pending.pop(future)
+                        try:
+                            results = future.result()
+                        except concurrent.futures.process.BrokenProcessPool as error:
+                            raise WorkerCrashedError(
+                                remaining_tasks([chunk, *pending.values()])
+                            ) from error
+                        yield from results
+                executor.shutdown()
             except BaseException:
-                pool.terminate()
+                # kill the workers outright: shutdown() alone would block on
+                # (or orphan) a hung/poisoned task, and cancel_futures only
+                # covers work that never started
+                for process in list(getattr(executor, "_processes", {}).values()):
+                    try:
+                        process.terminate()
+                    except Exception:
+                        pass
+                executor.shutdown(wait=False, cancel_futures=True)
                 raise
-            finally:
-                pool.join()
 
         return stream()
 
@@ -432,7 +675,9 @@ class ThreadBackend:
 
 
 def resolve_backend(
-    spec: str | SweepBackend | None, mp_context: str | None = None
+    spec: str | SweepBackend | None,
+    mp_context: str | None = None,
+    task_timeout: float | None = None,
 ) -> SweepBackend:
     """Turn a backend name/instance into a backend, honouring the env override.
 
@@ -445,9 +690,15 @@ def resolve_backend(
         if name == "serial":
             return SerialBackend()
         if name == "process":
-            return ProcessBackend(mp_context)
+            return ProcessBackend(mp_context, task_timeout=task_timeout)
         if name == "thread":
             return ThreadBackend()
+        if name == "queue":
+            # local import: the queue module builds on the engine's tasks,
+            # digests, and retry policy, so the dependency points that way
+            from .queue import QueueBackend
+
+            return QueueBackend(mp_context=mp_context, task_timeout=task_timeout)
         raise ValueError(
             f"unknown sweep backend {spec!r} (expected one of {BACKEND_NAMES})"
         )
@@ -524,6 +775,19 @@ class SweepExecution:
             pass
         return [self._completed[position] for position in range(len(self.tasks))]
 
+    def close(self) -> None:
+        """Abandon the submission without consuming the remaining results.
+
+        The backend stream's cleanup runs: pools shut down, and the queue
+        backend signals its workers and leaves every already-published
+        result in the store — resubmitting the same sweep later resumes
+        from there.  Chaos tests use this to simulate a coordinator killed
+        mid-sweep.
+        """
+        close = getattr(self._stream, "close", None)
+        if close is not None:
+            close()
+
 
 @dataclass
 class SweepRunner:
@@ -562,6 +826,21 @@ class SweepRunner:
         task completes — lets CLIs render tables incrementally.  Under
         sharding, ``done``/``total`` count the shard's slice (cache-recalled
         results included), not just the tasks executed by this run.
+    retries:
+        Failed-task retry budget: a task is attempted at most ``retries+1``
+        times.  Honored by every backend — the queue backend requeues (and
+        quarantines once spent), the others retry in-worker via
+        :class:`RetryingWorker` and re-raise once spent.  ``None`` → 0
+        (queue backend: its own default of 2).
+    task_timeout:
+        Per-task hang bound in seconds.  Queue backend: the lease's hard
+        deadline, after which the task is stolen and requeued.  Process
+        backend: stall detection (:class:`TaskTimeoutError`).  Serial and
+        thread backends cannot preempt a running task and ignore it.
+    backoff:
+        Base delay between retry attempts (:func:`retry_delay` grows it
+        exponentially with deterministic jitter).  ``None`` →
+        :data:`DEFAULT_BACKOFF`.
     """
 
     workers: int | None = None
@@ -573,6 +852,9 @@ class SweepRunner:
     shard_store: ArtifactCache | None = None
     sweep_label: str = ""
     progress: Callable[[SweepTask, Any, int, int], None] | None = None
+    retries: int | None = None
+    task_timeout: float | None = None
+    backoff: float | None = None
     #: number of tasks executed through this runner (all backends)
     tasks_run: int = field(default=0, init=False)
 
@@ -586,7 +868,16 @@ class SweepRunner:
         # resolve before the single-worker short-circuit so an invalid
         # backend name (or $REPRO_SWEEP_BACKEND) fails everywhere, not just
         # on multicore hosts with multi-task grids
-        backend = resolve_backend(self.backend, self.mp_context)
+        backend = resolve_backend(
+            self.backend, self.mp_context, task_timeout=self.task_timeout
+        )
+        if getattr(backend, "queue_semantics", False) and self.parallel:
+            # never downgrade the queue backend to the in-process path: its
+            # publish/lease/resume semantics are the point even at 1 worker
+            # (parallel=False still wins — stateful sweeps must stay serial)
+            backend.configure_from_runner(self)
+            workers = self.workers if self.workers is not None else _default_workers()
+            return backend, max(1, min(int(workers), max(1, num_tasks)))
         workers = self.effective_workers(num_tasks)
         if workers == 1:
             return SerialBackend(), 1
@@ -606,7 +897,15 @@ class SweepRunner:
         """
         tasks = list(tasks)
         backend, workers = self._resolve(len(tasks))
-        stream = backend.submit(fn, shared, tasks, workers, self.chunksize)
+        run_fn = fn
+        retries = int(self.retries) if self.retries else 0
+        if retries > 0 and not getattr(backend, "handles_retries", False):
+            run_fn = RetryingWorker(
+                fn,
+                retries,
+                self.backoff if self.backoff is not None else DEFAULT_BACKOFF,
+            )
+        stream = backend.submit(run_fn, shared, tasks, workers, self.chunksize)
 
         def count() -> None:
             # count at result time, not submission time: the backend streams
@@ -666,26 +965,8 @@ class SweepRunner:
                 "sharded sweeps merge through the artifact cache; the shard store "
                 "must be enabled (unset $REPRO_CACHE_DISABLE or pass an enabled cache)"
             )
-        worker_name = f"{fn.__module__}.{getattr(fn, '__qualname__', fn.__name__)}"
-        # the task digest covers only the task's own payload; the shared
-        # payload configures the sweep too (e.g. fig9a's num_words), so it
-        # must reach the store key or two different configurations of one
-        # worker over one grid would silently recall each other's results
-        try:
-            shared_digest = cache_digest({"shared": _digest_safe(shared)})
-        except TypeError:
-            shared_digest = None
-        if shared_digest is None and not self.sweep_label:
-            raise ValueError(
-                "this sweep's shared payload has no canonical digest, so the "
-                "shard store cannot distinguish configurations by content; pass "
-                "a sweep_label= that uniquely identifies this configuration"
-            )
-        label = (
-            self.sweep_label
-            if shared_digest is None
-            else f"{self.sweep_label}#{shared_digest[:16]}"
-        )
+        worker_name = worker_identity(fn)
+        label = store_label(self.sweep_label, shared)
         digests = [task_digest(task) for task in tasks]
         mine = [
             (position, task)
@@ -729,6 +1010,11 @@ class SweepRunner:
         for local_position, _, value in execution.completions():
             digest = digests[pending[local_position][0]]
             local[digest] = value
+            if getattr(value, "is_quarantined", False):
+                # the queue backend already recorded the poison entry under
+                # its own kind; a quarantine sentinel must never be stored
+                # as a task *result* (other shards would recall it as one)
+                continue
             # publish as results land, not after the slice finishes: a shard
             # killed mid-run keeps its completed work and resumes from there
             stored = store.put(
@@ -746,12 +1032,26 @@ class SweepRunner:
                     f"unwritable cache); the other shards can never merge "
                     f"without it"
                 )
-        published, _ = collect_shard_results(
+        published, unpublished = collect_shard_results(
             store,
             label,
             worker_name,
             [digest for digest in digests if digest not in local],
         )
+        # a task another shard quarantined has a poison entry instead of a
+        # result; merging it as a QuarantinedTask (exactly what the local
+        # queue coordinator would yield) keeps poisoned sweeps mergeable
+        # rather than deadlocked on ShardIncompleteError
+        poisoned: dict[str, QuarantinedTask] = {}
+        for digest in unpublished:
+            payload = store.get(POISON_KIND, poison_key(label, worker_name, digest))
+            if payload is not None:
+                poisoned[digest] = QuarantinedTask(
+                    task=payload.get("task"),
+                    digest=digest,
+                    attempts=int(payload.get("attempts", 0)),
+                    errors=tuple(payload.get("errors", ())),
+                )
         results: list[Any] = []
         missing: list[SweepTask] = []
         for task, digest in zip(tasks, digests):
@@ -759,6 +1059,8 @@ class SweepRunner:
                 results.append(local[digest])
             elif digest in published:
                 results.append(published[digest]["result"])
+            elif digest in poisoned:
+                results.append(poisoned[digest])
             else:
                 missing.append(task)
         if missing:

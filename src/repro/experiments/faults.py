@@ -1,0 +1,225 @@
+"""Deterministic fault injection for chaos-testing the elastic sweep service.
+
+The queue backend's whole value proposition — leases expire, tasks are
+stolen, sweeps survive dead workers — is unobservable on a healthy host.
+This module makes failure reproducible: a :class:`FaultPlan` is a seeded,
+picklable description of *which* worker misbehaves, *when*, and *how*, and
+the queue workers consult their :class:`WorkerFaultInjector` at three fixed
+hook points (task claim, heartbeat renewal, result publish).  Because kill
+points are counted in completed tasks and all randomness is seeded, a chaos
+test that kills worker 0 after its first task does so on every run, on every
+host.
+
+Fault rules
+-----------
+* :class:`KillWorker` — ``os.kill(getpid(), SIGKILL)`` after N completed
+  tasks.  ``phase="claim"`` dies *after acquiring the next lease* (the
+  nastiest case: the task is mid-flight, recovery requires lease expiry +
+  stealing); ``phase="publish"`` dies right after a clean publish (models a
+  worker preempted between tasks — nothing to recover but the fleet shrank).
+* :class:`DelayTask` — sleeps before executing (straggler injection; with a
+  short lease this forces expiry *while the worker is still alive*,
+  exercising the duplicate-execution path that idempotent publishes absorb).
+* :class:`SuppressHeartbeat` — stops lease renewal while the task keeps
+  running, forcing expiry + steal without killing anyone.
+
+CLI injection
+-------------
+``$REPRO_FAULT_PLAN`` carries a JSON-encoded plan into driver CLIs (the CI
+chaos-smoke job kills a ``fig09_sram --backend queue`` worker this way)::
+
+    REPRO_FAULT_PLAN='[{"kind": "kill", "worker": 0, "after_tasks": 1}]' \\
+        python -m repro.experiments.fig09_sram --figure a --backend queue
+
+Only queue workers consult the plan — the fault hooks live in the queue
+worker loop, so other backends ignore the variable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+from dataclasses import asdict, dataclass
+
+__all__ = [
+    "DelayTask",
+    "FaultPlan",
+    "KillWorker",
+    "SuppressHeartbeat",
+    "WorkerFaultInjector",
+    "NULL_INJECTOR",
+]
+
+ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
+
+_KILL_PHASES = ("claim", "publish")
+
+
+@dataclass(frozen=True)
+class KillWorker:
+    """SIGKILL worker ``worker`` once it has completed ``after_tasks`` tasks.
+
+    ``after_tasks=None`` draws the count deterministically from the plan
+    seed (1–3), so randomized chaos stays reproducible.  See the module
+    docstring for the ``phase`` semantics.
+    """
+
+    worker: int
+    after_tasks: int | None = None
+    phase: str = "claim"
+
+    kind = "kill"
+
+    def __post_init__(self) -> None:
+        if self.phase not in _KILL_PHASES:
+            raise ValueError(
+                f"kill phase must be one of {_KILL_PHASES}, got {self.phase!r}"
+            )
+
+
+@dataclass(frozen=True)
+class DelayTask:
+    """Sleep ``seconds`` before executing every ``every``-th claimed task."""
+
+    worker: int
+    seconds: float
+    every: int = 1
+
+    kind = "delay"
+
+
+@dataclass(frozen=True)
+class SuppressHeartbeat:
+    """Stop renewing leases once ``after_tasks`` tasks have completed.
+
+    The worker keeps executing; its lease expires mid-task and another
+    worker steals + requeues it.  The suppressed worker's publish still
+    lands (idempotently), modelling the classic partitioned-but-alive node.
+    """
+
+    worker: int
+    after_tasks: int = 0
+
+    kind = "no-heartbeat"
+
+
+_RULE_TYPES = {cls.kind: cls for cls in (KillWorker, DelayTask, SuppressHeartbeat)}
+
+FaultRule = KillWorker | DelayTask | SuppressHeartbeat
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of fault rules, distributable to workers by index."""
+
+    rules: tuple[FaultRule, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    def for_worker(self, index: int) -> "WorkerFaultInjector":
+        """The injector a queue worker with this index should consult."""
+        mine = [rule for rule in self.rules if rule.worker == index]
+        return WorkerFaultInjector(index, mine, seed=self.seed)
+
+    # ------------------------------------------------- env/JSON round-trip
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [{"kind": rule.kind, **asdict(rule)} for rule in self.rules]
+        )
+
+    @classmethod
+    def from_json(cls, text: str, seed: int = 0) -> "FaultPlan":
+        entries = json.loads(text)
+        if not isinstance(entries, list):
+            raise ValueError("fault plan JSON must be a list of rule objects")
+        rules = []
+        for entry in entries:
+            if not isinstance(entry, dict) or "kind" not in entry:
+                raise ValueError(f"fault rule must be an object with a kind: {entry!r}")
+            fields = dict(entry)
+            kind = fields.pop("kind")
+            try:
+                rule_type = _RULE_TYPES[kind]
+            except KeyError:
+                raise ValueError(
+                    f"unknown fault kind {kind!r} (expected one of "
+                    f"{sorted(_RULE_TYPES)})"
+                ) from None
+            rules.append(rule_type(**fields))
+        return cls(rules=tuple(rules), seed=seed)
+
+    def to_env(self, environ: dict[str, str] | None = None) -> dict[str, str]:
+        """Write the plan into an environment mapping (default ``os.environ``)."""
+        target = os.environ if environ is None else environ
+        target[ENV_FAULT_PLAN] = self.to_json()
+        return target
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan | None":
+        """The plan carried by ``$REPRO_FAULT_PLAN``, or None when unset."""
+        text = os.environ.get(ENV_FAULT_PLAN, "").strip()
+        if not text:
+            return None
+        return cls.from_json(text)
+
+
+class WorkerFaultInjector:
+    """One worker's slice of a fault plan, consulted at the queue hook points.
+
+    The queue worker calls :meth:`on_claim` after acquiring a lease (before
+    executing), :meth:`heartbeat_allowed` when deciding whether to start the
+    renewal thread, and :meth:`on_publish` after a completed task's result
+    landed.  All decisions are pure functions of (rules, seed, completed
+    count) — no live randomness.
+    """
+
+    def __init__(self, index: int, rules: list, seed: int = 0):
+        self.index = index
+        self._delays = [rule for rule in rules if isinstance(rule, DelayTask)]
+        self._suppress = [rule for rule in rules if isinstance(rule, SuppressHeartbeat)]
+        self._kill: tuple[int, str] | None = None
+        kills = [rule for rule in rules if isinstance(rule, KillWorker)]
+        if kills:
+            rule = kills[0]
+            after = rule.after_tasks
+            if after is None:
+                token = hashlib.sha256(f"faults:{seed}:{index}".encode()).digest()
+                after = 1 + token[0] % 3
+            self._kill = (int(after), rule.phase)
+
+    def on_claim(self, completed: int) -> None:
+        """Hook after lease acquisition; may sleep (straggle) or never return."""
+        for rule in self._delays:
+            if rule.every > 0 and (completed + 1) % rule.every == 0:
+                time.sleep(rule.seconds)
+        if self._kill is not None:
+            after, phase = self._kill
+            if phase == "claim" and completed >= after:
+                self._die()
+
+    def heartbeat_allowed(self, completed: int) -> bool:
+        """Whether this task's lease may be renewed while it runs."""
+        return not any(completed >= rule.after_tasks for rule in self._suppress)
+
+    def on_publish(self, completed: int) -> None:
+        """Hook after a clean publish + lease release; may never return."""
+        if self._kill is not None:
+            after, phase = self._kill
+            if phase == "publish" and completed >= after:
+                self._die()
+
+    @staticmethod
+    def _die() -> None:
+        # SIGKILL self: no cleanup handlers, no finally blocks — exactly the
+        # abrupt death (OOM killer, preemption) the lease protocol must absorb
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+#: Injector that never fires — what workers use when no plan is active.
+NULL_INJECTOR = WorkerFaultInjector(-1, [])

@@ -180,6 +180,78 @@ class TestOrphanedTempFiles:
         assert not stale.exists() and fresh.exists()
 
 
+class TestVerifyCorruption:
+    """Torn or truncated artifacts must degrade to misses, never crash —
+    and ``verify``/``prune --corrupt`` must find and evict them."""
+
+    @staticmethod
+    def corrupt_kind(cache, kind="trained-weights"):
+        paths = [path for _, path in cache._artifact_files(kind)]
+        for path in paths:
+            path.write_bytes(b"\x80\x05truncated mid-write")
+        return paths
+
+    def test_corrupt_artifact_degrades_to_miss(self, cache):
+        populate(cache)
+        self.corrupt_kind(cache)
+        reopened = ArtifactCache(root=cache.root)  # cold memory layer
+        assert reopened.get("trained-weights", {"run": 1}) is None
+        assert reopened.get("fault-map", {"bank": 0}) == {"stuck": True}
+
+    def test_verify_reports_without_removing(self, cache):
+        populate(cache)
+        paths = self.corrupt_kind(cache)
+        report = cache.verify()
+        assert len(report) == 2
+        assert {entry["kind"] for entry in report} == {"trained-weights"}
+        assert all(entry["error"] for entry in report)
+        assert all(path.exists() for path in paths)
+
+    def test_verify_remove_evicts_disk_and_memory(self, cache):
+        populate(cache)
+        paths = self.corrupt_kind(cache)
+        removed = cache.verify(remove=True)
+        assert len(removed) == 2
+        assert not any(path.exists() for path in paths)
+        # the memory layer must not keep answering for the evicted entries
+        assert cache.get("trained-weights", {"run": 1}) is None
+        assert cache.disk_stats()["total_entries"] == 1
+
+    def test_verify_kind_scoped(self, cache):
+        populate(cache)
+        self.corrupt_kind(cache, "trained-weights")
+        assert cache.verify(kind="fault-map") == []
+        assert len(cache.verify(kind="trained-weights")) == 2
+
+    def test_cli_verify_command(self, cache, capsys):
+        populate(cache)
+        self.corrupt_kind(cache)
+        assert main(["--root", str(cache.root), "verify"]) == 0
+        out = capsys.readouterr().out
+        assert "corrupt [trained-weights]" in out
+        assert "found 2 corrupt entries" in out
+        assert cache.disk_stats()["total_entries"] == 3  # report only
+
+    def test_cli_verify_remove(self, cache, capsys):
+        populate(cache)
+        self.corrupt_kind(cache)
+        assert main(["--root", str(cache.root), "verify", "--remove"]) == 0
+        assert "removed 2 corrupt entries" in capsys.readouterr().out
+        assert cache.disk_stats()["total_entries"] == 1
+
+    def test_cli_prune_corrupt_ignores_age(self, cache, capsys):
+        """A fresh-but-corrupt entry survives the age pass; --corrupt gets it."""
+        populate(cache)
+        self.corrupt_kind(cache)
+        assert main(
+            ["--root", str(cache.root), "prune", "--older-than", "1h", "--corrupt"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pruned 0 entries" in out
+        assert "removed 2 corrupt entries" in out
+        assert cache.disk_stats()["total_entries"] == 1
+
+
 class TestParseAge:
     @pytest.mark.parametrize(
         "text, seconds",

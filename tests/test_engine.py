@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import importlib
+import os
+import signal
 import time
 
 import numpy as np
@@ -12,12 +14,17 @@ from repro.experiments import run_fig5, run_fig9a, run_fig10
 from repro.experiments.cache import ArtifactCache, cache_digest
 from repro.experiments.engine import (
     ProcessBackend,
+    RetryingWorker,
     SerialBackend,
     SweepRunner,
     SweepTask,
+    TaskTimeoutError,
     ThreadBackend,
+    WorkerCrashedError,
     expand_grid,
     resolve_backend,
+    store_label,
+    worker_identity,
 )
 
 
@@ -35,6 +42,30 @@ def _failing_worker(shared, task):
         raise RuntimeError("boom")
     time.sleep(shared.get("delay", 0.0))
     return task.param("value")
+
+
+def _suicidal_worker(shared, task):
+    if task.param("value") == shared["bad"]:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return task.param("value")
+
+
+def _sleepy_worker(shared, task):
+    time.sleep(shared["sleep"])
+    return task.param("value")
+
+
+#: attempt counts per task index — lives in whichever process runs the task,
+#: so it also works on the process backend (the retry happens in-worker)
+_FLAKY_CALLS: dict[int, int] = {}
+
+
+def _flaky_then_ok_worker(shared, task):
+    count = _FLAKY_CALLS.get(task.index, 0) + 1
+    _FLAKY_CALLS[task.index] = count
+    if count <= shared["fail_times"]:
+        raise RuntimeError("transient glitch")
+    return task.param("value") * 10
 
 
 class TestExpandGrid:
@@ -230,6 +261,70 @@ class TestBackends:
         assert execution.results() == SweepRunner(workers=1).map(
             _square_worker, tasks, shared={"offset": 1}
         )
+
+
+class TestRobustness:
+    """Retry budgets, crash diagnostics, and hang bounds on the pool backends."""
+
+    @pytest.mark.parametrize("backend,workers", [
+        ("serial", 1), ("process", 3), ("thread", 3),
+    ])
+    def test_retries_recover_transient_failures(self, backend, workers):
+        _FLAKY_CALLS.clear()
+        tasks = expand_grid(params=[{"value": v} for v in range(6)], seed=9)
+        runner = SweepRunner(
+            workers=workers, backend=backend, retries=1, backoff=0.01
+        )
+        results = runner.map(
+            _flaky_then_ok_worker, tasks, shared={"fail_times": 1}
+        )
+        assert results == [v * 10 for v in range(6)]
+
+    def test_retry_budget_exhausts_and_reraises(self):
+        _FLAKY_CALLS.clear()
+        tasks = expand_grid(params=[{"value": 1}, {"value": 2}], seed=9)
+        runner = SweepRunner(workers=1, retries=1, backoff=0.01)
+        with pytest.raises(RuntimeError, match="transient glitch"):
+            runner.map(_flaky_then_ok_worker, tasks, shared={"fail_times": 3})
+
+    def test_zero_retries_by_default(self):
+        _FLAKY_CALLS.clear()
+        tasks = expand_grid(params=[{"value": 1}, {"value": 2}], seed=9)
+        with pytest.raises(RuntimeError, match="transient glitch"):
+            SweepRunner(workers=1).map(
+                _flaky_then_ok_worker, tasks, shared={"fail_times": 1}
+            )
+
+    def test_sigkilled_pool_worker_names_in_flight_tasks(self):
+        tasks = expand_grid(params=[{"value": v} for v in range(4)], seed=2)
+        runner = SweepRunner(workers=2, backend="process")
+        with pytest.raises(WorkerCrashedError, match="--backend queue") as info:
+            runner.map(_suicidal_worker, tasks, shared={"bad": 2})
+        assert len(info.value.in_flight) >= 1
+        assert any("value=2" in task.describe() for task in info.value.in_flight)
+
+    def test_task_timeout_bounds_a_hung_pool(self):
+        tasks = expand_grid(params=[{"value": v} for v in range(2)], seed=2)
+        runner = SweepRunner(workers=2, backend="process", task_timeout=0.5)
+        start = time.perf_counter()
+        with pytest.raises(TaskTimeoutError, match="task-timeout"):
+            runner.map(_sleepy_worker, tasks, shared={"sleep": 30.0})
+        # the pool is torn down, not drained: nowhere near the 30 s sleep
+        assert time.perf_counter() - start < 10.0
+
+    def test_worker_identity_unwraps_retry_wrapper(self):
+        wrapped = RetryingWorker(_square_worker, retries=2)
+        assert worker_identity(wrapped) == worker_identity(_square_worker)
+        assert worker_identity(_square_worker).endswith("._square_worker")
+
+    def test_store_label_covers_shared_payload(self):
+        a = store_label("fig9a", {"num_words": 256})
+        b = store_label("fig9a", {"num_words": 512})
+        assert a != b and a.startswith("fig9a#")
+        # an undigestable payload needs the label to vouch for the config
+        assert store_label("fig9a", {"live": object()}) == "fig9a"
+        with pytest.raises(ValueError, match="sweep_label"):
+            store_label("", {"live": object()})
 
 
 class TestArtifactCache:
@@ -459,5 +554,8 @@ class TestDriverCLIs:
             module.main(["--help"])
         assert info.value.code == 0
         out = capsys.readouterr().out
-        for flag in ("--workers", "--backend", "--shard", "--stream"):
+        for flag in (
+            "--workers", "--backend", "--shard", "--stream",
+            "--retries", "--task-timeout", "--backoff",
+        ):
             assert flag in out, f"{module_name} --help is missing {flag}"
