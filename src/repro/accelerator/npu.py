@@ -260,12 +260,28 @@ class Npu:
         ``refresh=False`` no reordering happens (corruption then persists
         point to point, so order is semantics) and each point runs on
         whatever the previous one left in storage.
+
+        Under ``refresh=True``, *exact-duplicate* voltage entries are
+        provably identical runs — same corruption-mask signature over the
+        same freshly-rewritten weights on the same inputs — so only the
+        first occurrence executes and later occurrences return the memoized
+        ``(outputs, stats)`` pair.  Duplicate positions alias the first
+        occurrence's arrays rather than copying them; treat sweep outputs as
+        read-only (every in-tree caller does).  With ``refresh=False``
+        duplicates still execute, because each run inherits whatever
+        corruption the previous point left behind.
         """
         if self.program is None:
             raise RuntimeError("no model deployed; call deploy() first")
         voltages = [float(v) for v in voltages]
         order = list(range(len(voltages)))
+        duplicate_of: dict[int, int] = {}
         if refresh:
+            first_at: dict[float, int] = {}
+            for index, voltage in enumerate(voltages):
+                canonical = first_at.setdefault(voltage, index)
+                if canonical != index:
+                    duplicate_of[index] = canonical
             group_rank: dict[tuple[bytes, ...], int] = {}
             ranks = []
             for voltage in voltages:
@@ -273,6 +289,7 @@ class Npu:
                     bank.mask_digest(voltage, temperature) for bank in self.memory
                 )
                 ranks.append(group_rank.setdefault(signature, len(group_rank)))
+            order = [index for index in order if index not in duplicate_of]
             order.sort(key=lambda index: (ranks[index], index))
         results: list[tuple[np.ndarray, InferenceStats] | None] = [None] * len(voltages)
         for index in order:
@@ -284,6 +301,8 @@ class Npu:
                 temperature=temperature,
                 collect_stats=collect_stats,
             )
+        for index, canonical in duplicate_of.items():
+            results[index] = results[canonical]
         return results
 
     def predict(

@@ -19,6 +19,10 @@ catalog — the paper benchmarks plus procedural ``synth/...`` specs — and
 sweeps correlated-variation scenarios (shape × strength × workload) for
 die Vmin/yield statistics, fault-map clustering, MATIC-vs-naive error, and
 margin-vs-stratified canary placement.
+:func:`repro.experiments.fleet_population.run_fleet_population` scales from
+one die to a seeded chip population (:mod:`repro.population`): die
+Vmin/yield distributions, per-die canary margins, and error percentiles
+serving a mixed-operating-point request stream, sharded by die index.
 
 All drivers execute through the sweep engine
 (:mod:`repro.experiments.engine`): grids expand into independent seeded
@@ -55,7 +59,9 @@ from .common import (
     experiment_parser,
     format_table,
     make_chip,
+    partition_quarantined,
     prepare_benchmark,
+    quarantine_notes,
     run_experiment_cli,
     runner_from_args,
     train_cached,
@@ -101,6 +107,8 @@ _DRIVER_EXPORTS = {
     "run_variation_scenarios": "variation_scenarios",
     "DEFAULT_SHAPES": "variation_scenarios",
     "DEFAULT_STRENGTHS": "variation_scenarios",
+    "run_fleet_population": "fleet_population",
+    "DEFAULT_OPERATING_VOLTAGES": "fleet_population",
 }
 
 #: Driver submodules, also reachable as package attributes once requested.
@@ -160,6 +168,8 @@ __all__ = [
     "train_cached",
     "default_flow",
     "make_chip",
+    "partition_quarantined",
+    "quarantine_notes",
     "format_table",
     "run_fig5",
     "run_fig9a",
@@ -179,4 +189,6 @@ __all__ = [
     "run_variation_scenarios",
     "DEFAULT_SHAPES",
     "DEFAULT_STRENGTHS",
+    "run_fleet_population",
+    "DEFAULT_OPERATING_VOLTAGES",
 ]

@@ -52,7 +52,7 @@ import argparse
 from dataclasses import dataclass, field, replace
 from importlib import import_module
 from importlib.machinery import ModuleSpec
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 import numpy as np
 
@@ -303,6 +303,31 @@ def format_table(
     return "\n".join(lines)
 
 
+def partition_quarantined(values: Iterable[Any]) -> tuple[list[Any], list[Any]]:
+    """Split merged sweep results into (clean, quarantined) lists.
+
+    Merged sweeps may contain :class:`~repro.experiments.engine.QuarantinedTask`
+    sentinels in place of results — the queue backend emits them once a
+    task's retry budget is spent, and sharded merges recall them from the
+    poison store.  Every driver's assembly path runs its ``runner.map``
+    output through this helper so a poisoned task degrades to a marked
+    ``QUARANTINED`` table row instead of an ``AttributeError`` mid-render.
+    """
+    clean: list[Any] = []
+    quarantined: list[Any] = []
+    for value in values:
+        if getattr(value, "is_quarantined", False):
+            quarantined.append(value)
+        else:
+            clean.append(value)
+    return clean, quarantined
+
+
+def quarantine_notes(quarantined: Iterable[Any]) -> list[str]:
+    """The ``describe()`` strings an :class:`ExperimentResult` renders."""
+    return [sentinel.describe() for sentinel in quarantined]
+
+
 @dataclass
 class ExperimentResult:
     """Generic container returned by experiment drivers.
@@ -310,6 +335,10 @@ class ExperimentResult:
     ``rows`` holds the regenerated table/series; ``paper_reference`` holds
     the corresponding numbers reported in the paper (when the paper states
     them), so the benchmark output can show both side by side.
+    ``quarantined`` carries the ``describe()`` strings of any
+    :class:`~repro.experiments.engine.QuarantinedTask` sentinels the driver
+    received in place of results; each renders as a marked ``QUARANTINED``
+    row plus a summary count, and makes the CLI exit nonzero.
     """
 
     experiment: str
@@ -317,9 +346,22 @@ class ExperimentResult:
     rows: list[list[str]] = field(default_factory=list)
     paper_reference: dict[str, float | str] = field(default_factory=dict)
     notes: str = ""
+    quarantined: list[str] = field(default_factory=list)
 
     def to_text(self) -> str:
-        text = format_table(self.headers, self.rows, title=self.experiment)
+        rows = list(self.rows)
+        for description in self.quarantined:
+            marker = ["QUARANTINED", description]
+            marker += ["-"] * (len(self.headers) - len(marker))
+            rows.append(marker[: len(self.headers)])
+        text = format_table(self.headers, rows, title=self.experiment)
+        if self.quarantined:
+            count = len(self.quarantined)
+            text += (
+                f"\n\nWARNING: {count} task(s) quarantined — the rows marked "
+                "QUARANTINED were not computed. Re-run with a higher --retries "
+                "budget (or inspect the errors above) to fill them in."
+            )
         if self.paper_reference:
             reference_lines = [
                 f"  {key}: {value}" for key, value in self.paper_reference.items()
@@ -477,6 +519,11 @@ def run_experiment_cli(
     :class:`~repro.experiments.engine.ShardIncompleteError` is an expected
     outcome for every shard but the last one to publish, so it reports
     progress and exits cleanly instead of failing.
+
+    A merged result that carries quarantined tasks still prints the full
+    table — every healthy row plus one marked ``QUARANTINED`` row per
+    sentinel — but exits with status 1 so scripted callers notice the sweep
+    was degraded.
     """
     runner, cache = runner_from_args(args, sweep)
     try:
@@ -488,7 +535,14 @@ def run_experiment_cli(
             "shard after the others finish to print the merged table"
         )
         return 0
-    print(result.to_experiment_result().to_text())
+    rendered = result.to_experiment_result()
+    print(rendered.to_text())
+    if rendered.quarantined:
+        print(
+            f"\n{len(rendered.quarantined)} quarantined task(s); exiting nonzero",
+            flush=True,
+        )
+        return 1
     return 0
 
 
@@ -505,11 +559,15 @@ def dispatch_canonical_main(spec: ModuleSpec) -> int:
     return import_module(spec.name).main()
 
 
-def fmt(value: float, digits: int = 3) -> str:
-    """Format a float for table cells."""
+def fmt(value: float | None, digits: int = 3) -> str:
+    """Format a float for table cells; ``None`` (missing datum) renders "-"."""
+    if value is None:
+        return "-"
     return f"{value:.{digits}f}"
 
 
-def fmt_percent(value: float, digits: int = 1) -> str:
-    """Format a fraction as a percentage string."""
+def fmt_percent(value: float | None, digits: int = 1) -> str:
+    """Format a fraction as a percentage string; ``None`` renders "-"."""
+    if value is None:
+        return "-"
     return f"{100.0 * value:.{digits}f}%"

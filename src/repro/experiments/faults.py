@@ -22,6 +22,12 @@ Fault rules
   exercising the duplicate-execution path that idempotent publishes absorb).
 * :class:`SuppressHeartbeat` — stops lease renewal while the task keeps
   running, forcing expiry + steal without killing anyone.
+* :class:`PoisonTask` — raises inside task execution for every task whose
+  ``describe()`` contains a substring, on *every* worker (``worker=-1``
+  wildcard by default).  Because the failure is task-addressed rather than
+  worker-addressed, retries land on the same poison and the task is
+  deterministically quarantined once the retry budget is spent — the rule
+  that exercises the ``QuarantinedTask`` rendering path end to end.
 
 CLI injection
 -------------
@@ -48,6 +54,7 @@ __all__ = [
     "DelayTask",
     "FaultPlan",
     "KillWorker",
+    "PoisonTask",
     "SuppressHeartbeat",
     "WorkerFaultInjector",
     "NULL_INJECTOR",
@@ -106,9 +113,29 @@ class SuppressHeartbeat:
     kind = "no-heartbeat"
 
 
-_RULE_TYPES = {cls.kind: cls for cls in (KillWorker, DelayTask, SuppressHeartbeat)}
+@dataclass(frozen=True)
+class PoisonTask:
+    """Raise inside execution for tasks whose ``describe()`` contains ``match``.
 
-FaultRule = KillWorker | DelayTask | SuppressHeartbeat
+    Unlike the worker-addressed rules, poison follows the *task*: with the
+    default ``worker=-1`` wildcard every worker that claims a matching task
+    fails it, so retry attempts cannot escape by landing elsewhere and the
+    task is quarantined after exactly ``retries + 1`` attempts.  An empty
+    ``match`` poisons every task (a fully-poisoned sweep still terminates —
+    with a table of QUARANTINED rows).
+    """
+
+    match: str = ""
+    worker: int = -1
+
+    kind = "poison"
+
+
+_RULE_TYPES = {
+    cls.kind: cls for cls in (KillWorker, DelayTask, SuppressHeartbeat, PoisonTask)
+}
+
+FaultRule = KillWorker | DelayTask | SuppressHeartbeat | PoisonTask
 
 
 @dataclass(frozen=True)
@@ -122,8 +149,13 @@ class FaultPlan:
         object.__setattr__(self, "rules", tuple(self.rules))
 
     def for_worker(self, index: int) -> "WorkerFaultInjector":
-        """The injector a queue worker with this index should consult."""
-        mine = [rule for rule in self.rules if rule.worker == index]
+        """The injector a queue worker with this index should consult.
+
+        ``worker=-1`` on a rule is a wildcard: every worker in the fleet
+        applies it (the coordinator's inline drain worker never consults a
+        plan, so even wildcard rules cannot poison the coordinator itself).
+        """
+        mine = [rule for rule in self.rules if rule.worker in (index, -1)]
         return WorkerFaultInjector(index, mine, seed=self.seed)
 
     # ------------------------------------------------- env/JSON round-trip
@@ -183,6 +215,7 @@ class WorkerFaultInjector:
         self.index = index
         self._delays = [rule for rule in rules if isinstance(rule, DelayTask)]
         self._suppress = [rule for rule in rules if isinstance(rule, SuppressHeartbeat)]
+        self._poisons = [rule for rule in rules if isinstance(rule, PoisonTask)]
         self._kill: tuple[int, str] | None = None
         kills = [rule for rule in rules if isinstance(rule, KillWorker)]
         if kills:
@@ -202,6 +235,22 @@ class WorkerFaultInjector:
             after, phase = self._kill
             if phase == "claim" and completed >= after:
                 self._die()
+
+    def before_execute(self, task) -> None:
+        """Hook inside the execution try-block; raising fails the *attempt*.
+
+        The queue worker treats the raise exactly like a worker-function
+        exception: the task is requeued with backoff and quarantined once
+        ``attempts > retries`` — never a crashed worker, never a deadlock.
+        """
+        if not self._poisons:
+            return
+        description = task.describe() if hasattr(task, "describe") else str(task)
+        for rule in self._poisons:
+            if rule.match in description:
+                raise RuntimeError(
+                    f"fault plan poisoned task ({rule.match!r} in {description!r})"
+                )
 
     def heartbeat_allowed(self, completed: int) -> bool:
         """Whether this task's lease may be renewed while it runs."""

@@ -32,7 +32,9 @@ from .common import (
     PreparedBenchmark,
     experiment_parser,
     fmt_percent,
+    partition_quarantined,
     prepare_benchmark,
+    quarantine_notes,
     run_experiment_cli,
 )
 from .engine import SweepRunner, SweepTask, expand_grid
@@ -59,6 +61,7 @@ class Fig5Result:
     benchmark: str
     baseline_error: float
     points: list[Fig5Point] = field(default_factory=list)
+    quarantined: list[str] = field(default_factory=list)
 
     def to_experiment_result(self) -> ExperimentResult:
         rows = [
@@ -82,6 +85,7 @@ class Fig5Result:
                 "while memory-adaptive training holds substantially lower error through "
                 "the small-to-moderate fault-rate regime."
             ),
+            quarantined=list(self.quarantined),
         )
 
 
@@ -155,9 +159,12 @@ def run_fig5(
         "seed": seed,
         "cache": cache,
     }
-    points = runner.map(_fig5_point_worker, tasks, shared=shared)
+    points, quarantined = partition_quarantined(
+        runner.map(_fig5_point_worker, tasks, shared=shared)
+    )
     result = Fig5Result(benchmark=prepared.name, baseline_error=prepared.baseline_error)
     result.points.extend(points)
+    result.quarantined.extend(quarantine_notes(quarantined))
     return result
 
 

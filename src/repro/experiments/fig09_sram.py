@@ -36,7 +36,9 @@ from .common import (
     experiment_parser,
     fmt,
     fmt_percent,
+    partition_quarantined,
     prepare_benchmark,
+    quarantine_notes,
     run_experiment_cli,
     train_cached,
 )
@@ -58,6 +60,7 @@ class Fig9aPoint:
 @dataclass
 class Fig9aResult:
     points: list[Fig9aPoint] = field(default_factory=list)
+    quarantined: list[str] = field(default_factory=list)
 
     def to_experiment_result(self) -> ExperimentResult:
         rows = [
@@ -78,6 +81,7 @@ class Fig9aResult:
                 "all reads failing": "~0.40 V",
                 "word-level incidence at the 0.50 V MEP": "~28%",
             },
+            quarantined=list(self.quarantined),
         )
 
 
@@ -130,7 +134,11 @@ def run_fig9a(
         "temperature": temperature,
     }
     result = Fig9aResult()
-    result.points.extend(runner.map(_fig9a_point_worker, tasks, shared=shared))
+    points, quarantined = partition_quarantined(
+        runner.map(_fig9a_point_worker, tasks, shared=shared)
+    )
+    result.points.extend(points)
+    result.quarantined.extend(quarantine_notes(quarantined))
     return result
 
 
@@ -149,6 +157,7 @@ class Fig9bResult:
     benchmark: str
     selected_topology: str
     points: list[Fig9bPoint] = field(default_factory=list)
+    quarantined: list[str] = field(default_factory=list)
 
     def to_experiment_result(self) -> ExperimentResult:
         rows = [
@@ -163,6 +172,7 @@ class Fig9bResult:
                 "selected topology (paper)": self.selected_topology,
                 "criterion": "smallest topology that does not sacrifice accuracy",
             },
+            quarantined=list(self.quarantined),
         )
 
 
@@ -226,7 +236,11 @@ def run_fig9b(
         "cache": cache,
     }
     result = Fig9bResult(benchmark=spec.name, selected_topology=spec.topology)
-    result.points.extend(runner.map(_fig9b_point_worker, tasks, shared=shared))
+    points, quarantined = partition_quarantined(
+        runner.map(_fig9b_point_worker, tasks, shared=shared)
+    )
+    result.points.extend(points)
+    result.quarantined.extend(quarantine_notes(quarantined))
     return result
 
 

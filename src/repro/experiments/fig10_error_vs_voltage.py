@@ -44,7 +44,9 @@ from .common import (
     fmt,
     fmt_percent,
     make_chip,
+    partition_quarantined,
     prepare_benchmark,
+    quarantine_notes,
     run_experiment_cli,
 )
 from .engine import SweepRunner, SweepTask, expand_grid
@@ -70,12 +72,17 @@ NOMINAL_THRESHOLD = 0.89
 
 @dataclass
 class VoltagePoint:
-    """Naive and adaptive error at one SRAM voltage."""
+    """Naive and adaptive error at one SRAM voltage.
+
+    Errors are ``None`` when the task that would have measured them was
+    quarantined in a merged sweep — the point still renders ("-" cells)
+    instead of crashing the table.
+    """
 
     voltage: float
     bit_fault_rate: float
-    naive_error: float
-    adaptive_error: float
+    naive_error: float | None
+    adaptive_error: float | None
 
 
 @dataclass
@@ -93,15 +100,29 @@ class BenchmarkSweep:
                 return point
         raise KeyError(f"no sweep point at {voltage} V")
 
-    def average_error_increase(self, mode: str, exclude_nominal: bool = True) -> float:
-        """Average error increase (AEI) over the swept voltages."""
+    def average_error_increase(
+        self, mode: str, exclude_nominal: bool = True
+    ) -> float | None:
+        """Average error increase (AEI) over the swept voltages.
+
+        Points whose measurement is missing (quarantined task) are skipped;
+        when *every* overscaled point is missing the AEI is undefined and
+        ``None`` is returned so callers can render "-" instead of crashing.
+        An empty overscaled grid is still a caller error.
+        """
         errors = []
+        missing = 0
         for point in self.points:
             if exclude_nominal and point.voltage >= NOMINAL_THRESHOLD:
                 continue
             error = point.naive_error if mode == "naive" else point.adaptive_error
+            if error is None:
+                missing += 1
+                continue
             errors.append(max(error - self.nominal_error, 0.0))
         if not errors:
+            if missing:
+                return None
             raise ValueError("no overscaled voltage points in the sweep")
         return float(np.mean(errors))
 
@@ -109,6 +130,7 @@ class BenchmarkSweep:
 @dataclass
 class Fig10Result:
     sweeps: list[BenchmarkSweep] = field(default_factory=list)
+    quarantined: list[str] = field(default_factory=list)
 
     def sweep_for(self, benchmark: str) -> BenchmarkSweep:
         for sweep in self.sweeps:
@@ -138,6 +160,7 @@ class Fig10Result:
                 "shape": "naive error rises sharply below ~0.53 V; MATIC holds error near "
                 "nominal down to ~0.50 V and degrades gracefully below",
             },
+            quarantined=list(self.quarantined),
         )
 
 
@@ -253,7 +276,9 @@ def run_fig10(
         "chip_seed": chip_seed,
         "benchmark_index": {name: index for index, name in enumerate(benchmarks)},
     }
-    measurements = runner.map(_fig10_point_worker, tasks, shared=shared)
+    measurements, quarantined = partition_quarantined(
+        runner.map(_fig10_point_worker, tasks, shared=shared)
+    )
 
     naive_by_point: dict[tuple[str, float], float] = {}
     adaptive_by_point: dict[tuple[str, float], dict] = {}
@@ -265,7 +290,7 @@ def run_fig10(
         else:
             key = (measurement["benchmark"], round(measurement["voltage"], 9))
             adaptive_by_point[key] = measurement
-    result = Fig10Result()
+    result = Fig10Result(quarantined=quarantine_notes(quarantined))
     for name in benchmarks:
         sweep = BenchmarkSweep(
             benchmark=name,
@@ -274,14 +299,22 @@ def run_fig10(
         )
         for voltage in voltages:
             key = (name, round(float(voltage), 9))
-            naive_error = naive_by_point[key]
+            # a quarantined naive task leaves the whole benchmark's naive
+            # curve missing; a quarantined adaptive task leaves one point —
+            # either way the point renders with "-" instead of crashing
+            naive_error = naive_by_point.get(key)
             adaptive = adaptive_by_point.get(key)
+            adaptive_error = adaptive["error"] if adaptive else naive_error
+            if voltage < NOMINAL_THRESHOLD and adaptive is None:
+                # overscaled points always have an adaptive task; its absence
+                # means quarantine, not "MATIC is a no-op here"
+                adaptive_error = None
             sweep.points.append(
                 VoltagePoint(
                     voltage=float(voltage),
                     bit_fault_rate=adaptive["fault_rate"] if adaptive else 0.0,
                     naive_error=naive_error,
-                    adaptive_error=adaptive["error"] if adaptive else naive_error,
+                    adaptive_error=adaptive_error,
                 )
             )
         result.sweeps.append(sweep)

@@ -18,7 +18,14 @@ from ..accelerator.energy import (
     OperatingPoint,
     SnnacEnergyModel,
 )
-from .common import ExperimentResult, experiment_parser, fmt, run_experiment_cli
+from .common import (
+    ExperimentResult,
+    experiment_parser,
+    fmt,
+    partition_quarantined,
+    quarantine_notes,
+    run_experiment_cli,
+)
 from .engine import SweepRunner, SweepTask, expand_grid
 
 __all__ = ["Fig11Result", "run_fig11", "main"]
@@ -29,21 +36,35 @@ ENERGY_OPTIMAL_POINT = OperatingPoint(0.55, 0.50, 17.8e6, name="EnOpt_split")
 
 @dataclass
 class Fig11Result:
-    nominal: EnergyBreakdown
-    optimized: EnergyBreakdown
+    """Energy decomposition at the two operating points.
+
+    Either breakdown may be ``None`` when its task was quarantined in a
+    merged sweep; the table then renders the surviving rows (reductions are
+    undefined and omitted) plus the marked ``QUARANTINED`` rows.
+    """
+
+    nominal: EnergyBreakdown | None
+    optimized: EnergyBreakdown | None
     nominal_point: OperatingPoint = NOMINAL_OPERATING_POINT
     optimized_point: OperatingPoint = ENERGY_OPTIMAL_POINT
+    quarantined: list[str] = field(default_factory=list)
 
     @property
-    def sram_reduction(self) -> float:
+    def sram_reduction(self) -> float | None:
+        if self.nominal is None or self.optimized is None:
+            return None
         return self.nominal.sram_total / self.optimized.sram_total
 
     @property
-    def logic_reduction(self) -> float:
+    def logic_reduction(self) -> float | None:
+        if self.nominal is None or self.optimized is None:
+            return None
         return self.nominal.logic_total / self.optimized.logic_total
 
     @property
-    def total_reduction(self) -> float:
+    def total_reduction(self) -> float | None:
+        if self.nominal is None or self.optimized is None:
+            return None
         return self.nominal.total / self.optimized.total
 
     def to_experiment_result(self) -> ExperimentResult:
@@ -59,28 +80,36 @@ class Fig11Result:
                 fmt(breakdown.total, 2),
             ]
 
-        rows = [
-            row(
-                f"nominal ({self.nominal_point.logic_voltage:.2f}/"
-                f"{self.nominal_point.sram_voltage:.2f} V)",
-                self.nominal,
-            ),
-            row(
-                f"MATIC MEP ({self.optimized_point.logic_voltage:.2f}/"
-                f"{self.optimized_point.sram_voltage:.2f} V)",
-                self.optimized,
-            ),
-            [
-                "reduction",
-                "-",
-                "-",
-                f"{self.logic_reduction:.1f}x",
-                "-",
-                "-",
-                f"{self.sram_reduction:.1f}x",
-                f"{self.total_reduction:.1f}x",
-            ],
-        ]
+        rows = []
+        if self.nominal is not None:
+            rows.append(
+                row(
+                    f"nominal ({self.nominal_point.logic_voltage:.2f}/"
+                    f"{self.nominal_point.sram_voltage:.2f} V)",
+                    self.nominal,
+                )
+            )
+        if self.optimized is not None:
+            rows.append(
+                row(
+                    f"MATIC MEP ({self.optimized_point.logic_voltage:.2f}/"
+                    f"{self.optimized_point.sram_voltage:.2f} V)",
+                    self.optimized,
+                )
+            )
+        if self.nominal is not None and self.optimized is not None:
+            rows.append(
+                [
+                    "reduction",
+                    "-",
+                    "-",
+                    f"{self.logic_reduction:.1f}x",
+                    "-",
+                    "-",
+                    f"{self.sram_reduction:.1f}x",
+                    f"{self.total_reduction:.1f}x",
+                ]
+            )
         return ExperimentResult(
             experiment="Fig. 11 — energy per cycle (pJ), leakage/dynamic breakdown",
             headers=[
@@ -99,6 +128,7 @@ class Fig11Result:
                 "logic energy reduction (paper)": "2.4x",
                 "nominal total (paper)": "67.08 pJ/cycle",
             },
+            quarantined=list(self.quarantined),
         )
 
 
@@ -123,13 +153,22 @@ def run_fig11(
     runner = runner or SweepRunner(parallel=False)
     points = {"nominal": NOMINAL_OPERATING_POINT, "optimized": optimized_point}
     tasks = expand_grid(params=[{"point": name} for name in points])
-    nominal, optimized = runner.map(
+    results = runner.map(
         _fig11_point_worker, tasks, shared={"model": model, "points": points}
     )
+    # keyed (not positional) assembly: a quarantined sentinel in either slot
+    # degrades to a None breakdown instead of mislabelling the other one
+    _, quarantined = partition_quarantined(results)
+    by_point = {
+        task.param("point"): value
+        for task, value in zip(tasks, results)
+        if not getattr(value, "is_quarantined", False)
+    }
     return Fig11Result(
-        nominal=nominal,
-        optimized=optimized,
+        nominal=by_point.get("nominal"),
+        optimized=by_point.get("optimized"),
         optimized_point=optimized_point,
+        quarantined=quarantine_notes(quarantined),
     )
 
 

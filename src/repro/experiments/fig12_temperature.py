@@ -39,7 +39,9 @@ from .common import (
     experiment_parser,
     fmt,
     make_chip,
+    partition_quarantined,
     prepare_benchmark,
+    quarantine_notes,
     run_experiment_cli,
 )
 from .engine import SweepRunner, SweepTask, expand_grid
@@ -65,6 +67,7 @@ class Fig12Result:
     target_voltage: float
     nominal_error: float
     steps: list[TemperatureStep] = field(default_factory=list)
+    quarantined: list[str] = field(default_factory=list)
 
     @property
     def voltage_temperature_correlation(self) -> float:
@@ -101,6 +104,7 @@ class Fig12Result:
                 f"temperature/voltage correlation = {self.voltage_temperature_correlation:+.2f} "
                 "(negative confirms the paper's inverse tracking)"
             ),
+            quarantined=list(self.quarantined),
         )
 
 
@@ -220,7 +224,13 @@ def run_fig12(
         "conditions": conditions,
         "safe_voltage": safe_voltage,
     }
-    result.steps.extend(runner.map(_fig12_step_worker, tasks, shared=shared))
+    # the forced serial path cannot normally quarantine, but a shard-merged
+    # store may still recall poison sentinels — render, don't crash
+    steps, quarantined = partition_quarantined(
+        runner.map(_fig12_step_worker, tasks, shared=shared)
+    )
+    result.steps.extend(steps)
+    result.quarantined.extend(quarantine_notes(quarantined))
     # leave the chamber back at nominal conditions
     deployment.chip.set_environment(EnvironmentalConditions())
     return result

@@ -280,6 +280,7 @@ class _QueueWorker:
             heartbeat.start()
         try:
             try:
+                self.injector.before_execute(record["task"])  # may raise (poison)
                 result = config.fn(config.shared, record["task"])
             except Exception as error:
                 self._fail_task(path, record, f"{type(error).__name__}: {error}")

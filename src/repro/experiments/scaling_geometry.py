@@ -44,7 +44,9 @@ from .common import (
     experiment_parser,
     fmt,
     make_chip,
+    partition_quarantined,
     prepare_benchmark,
+    quarantine_notes,
     run_experiment_cli,
 )
 from .engine import SweepRunner, SweepTask, expand_grid
@@ -103,6 +105,7 @@ class GeometryPoint:
 class ScalingGeometryResult:
     points: list[GeometryPoint] = field(default_factory=list)
     voltage: float = 0.9
+    quarantined: list[str] = field(default_factory=list)
 
     def points_for(self, workload: str) -> list[GeometryPoint]:
         return [point for point in self.points if point.workload == workload]
@@ -167,6 +170,7 @@ class ScalingGeometryResult:
                 "nominal operating point; capacity-constrained rows pay for placement "
                 "spill with extra passes (see docs/workloads.md for caveats)."
             ),
+            quarantined=list(self.quarantined),
         )
 
 
@@ -262,8 +266,14 @@ def run_scaling_geometry(
         "voltage": float(voltage),
         "chip_seed": int(chip_seed),
     }
-    points = runner.map(_scaling_point_worker, tasks, shared=shared)
-    return ScalingGeometryResult(points=list(points), voltage=float(voltage))
+    points, quarantined = partition_quarantined(
+        runner.map(_scaling_point_worker, tasks, shared=shared)
+    )
+    return ScalingGeometryResult(
+        points=list(points),
+        voltage=float(voltage),
+        quarantined=quarantine_notes(quarantined),
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

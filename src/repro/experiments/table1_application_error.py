@@ -72,21 +72,28 @@ PAPER_TABLE1 = {
 
 @dataclass
 class Table1Row:
-    """Regenerated Table I entries for one benchmark."""
+    """Regenerated Table I entries for one benchmark.
+
+    Measurement fields are ``None`` when the underlying Fig. 10 task was
+    quarantined in a merged sweep; those cells render "-" and the AEI
+    reduction is undefined for the row.
+    """
 
     benchmark: str
     topology: str
     metric: str
     nominal_error: float
-    naive_050: float
-    adaptive_050: float
-    naive_046: float
-    adaptive_046: float
-    naive_aei: float
-    adaptive_aei: float
+    naive_050: float | None
+    adaptive_050: float | None
+    naive_046: float | None
+    adaptive_046: float | None
+    naive_aei: float | None
+    adaptive_aei: float | None
 
     @property
-    def aei_reduction(self) -> float:
+    def aei_reduction(self) -> float | None:
+        if self.naive_aei is None or self.adaptive_aei is None:
+            return None
         if self.adaptive_aei <= 0:
             return float("inf")
         return self.naive_aei / self.adaptive_aei
@@ -99,7 +106,11 @@ class Table1Result:
 
     @property
     def average_aei_reduction(self) -> float:
-        finite = [row.aei_reduction for row in self.rows if np.isfinite(row.aei_reduction)]
+        finite = [
+            row.aei_reduction
+            for row in self.rows
+            if row.aei_reduction is not None and np.isfinite(row.aei_reduction)
+        ]
         if not finite:
             return float("inf")
         return float(np.mean(finite))
@@ -119,7 +130,7 @@ class Table1Result:
                     formatter(row.adaptive_046),
                     fmt_percent(row.naive_aei),
                     fmt_percent(row.adaptive_aei),
-                    f"{row.aei_reduction:.1f}x",
+                    "-" if row.aei_reduction is None else f"{row.aei_reduction:.1f}x",
                 ]
             )
         table_rows.append(
@@ -152,6 +163,7 @@ class Table1Result:
                 "the Fig. 10 sweep, relative to each benchmark's nominal error — the same "
                 "definition the paper averages to its 18.6x headline number."
             ),
+            quarantined=list(self.sweep.quarantined) if self.sweep is not None else [],
         )
 
 

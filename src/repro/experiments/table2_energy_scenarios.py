@@ -28,7 +28,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..accelerator.energy import OperatingPoint, SnnacEnergyModel
-from .common import ExperimentResult, experiment_parser, fmt, run_experiment_cli
+from .common import (
+    ExperimentResult,
+    experiment_parser,
+    fmt,
+    partition_quarantined,
+    quarantine_notes,
+    run_experiment_cli,
+)
 from .engine import SweepRunner, SweepTask, expand_grid
 
 __all__ = ["ScenarioResult", "Table2Result", "run_table2", "PAPER_TABLE2", "main"]
@@ -64,6 +71,7 @@ class ScenarioResult:
 @dataclass
 class Table2Result:
     scenarios: list[ScenarioResult] = field(default_factory=list)
+    quarantined: list[str] = field(default_factory=list)
 
     def scenario(self, name: str) -> ScenarioResult:
         for scenario in self.scenarios:
@@ -110,6 +118,7 @@ class Table2Result:
                 "EnOpt_split (paper)": "19.98 pJ/cycle, 2.5x",
                 "EnOpt_joint (paper)": "20.60 pJ/cycle, 3.3x",
             },
+            quarantined=list(self.quarantined),
         )
 
 
@@ -184,7 +193,11 @@ def run_table2(
         "max_frequency": max_frequency,
     }
     result = Table2Result()
-    result.scenarios.extend(runner.map(_table2_scenario_worker, tasks, shared=shared))
+    scenarios, quarantined = partition_quarantined(
+        runner.map(_table2_scenario_worker, tasks, shared=shared)
+    )
+    result.scenarios.extend(scenarios)
+    result.quarantined.extend(quarantine_notes(quarantined))
     return result
 
 

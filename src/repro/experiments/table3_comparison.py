@@ -19,7 +19,9 @@ from .common import (
     ExperimentResult,
     experiment_parser,
     make_chip,
+    partition_quarantined,
     prepare_benchmark,
+    quarantine_notes,
     run_experiment_cli,
 )
 from .engine import SweepRunner, SweepTask, expand_grid
@@ -93,13 +95,19 @@ PRIOR_WORK_ROWS: tuple[AcceleratorRow, ...] = (
 
 @dataclass
 class Table3Result:
-    snnac_nominal: AcceleratorRow
-    snnac_matic: AcceleratorRow
+    """Either SNNAC row may be ``None`` (its task quarantined in a merge)."""
+
+    snnac_nominal: AcceleratorRow | None
+    snnac_matic: AcceleratorRow | None
     prior_work: tuple[AcceleratorRow, ...] = PRIOR_WORK_ROWS
     rows: list[AcceleratorRow] = field(default_factory=list)
+    quarantined: list[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        self.rows = [self.snnac_nominal, self.snnac_matic, *self.prior_work]
+        recomputed = [self.snnac_nominal, self.snnac_matic]
+        self.rows = [row for row in recomputed if row is not None] + list(
+            self.prior_work
+        )
 
     def to_experiment_result(self) -> ExperimentResult:
         table_rows = []
@@ -136,6 +144,7 @@ class Table3Result:
                 "Prior-work rows are literature values; the two SNNAC rows are recomputed "
                 "from the simulator (deployed mnist model) and the calibrated energy model."
             ),
+            quarantined=list(self.quarantined),
         )
 
 
@@ -204,8 +213,20 @@ def run_table3(
     matic_point = matic_point or OperatingPoint(0.55, 0.50, 17.8e6, name="EnOpt_split")
     tasks = expand_grid(modes=("nominal", "matic"), seed=seed)
     shared = {"prepared": prepared, "matic_point": matic_point, "seed": seed}
-    nominal_row, matic_row = runner.map(_table3_row_worker, tasks, shared=shared)
-    return Table3Result(snnac_nominal=nominal_row, snnac_matic=matic_row)
+    results = runner.map(_table3_row_worker, tasks, shared=shared)
+    # keyed (not positional) assembly: a quarantined sentinel must drop its
+    # own row rather than shifting the other into the wrong slot
+    _, quarantined = partition_quarantined(results)
+    by_mode = {
+        task.mode: value
+        for task, value in zip(tasks, results)
+        if not getattr(value, "is_quarantined", False)
+    }
+    return Table3Result(
+        snnac_nominal=by_mode.get("nominal"),
+        snnac_matic=by_mode.get("matic"),
+        quarantined=quarantine_notes(quarantined),
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

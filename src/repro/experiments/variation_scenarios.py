@@ -48,7 +48,9 @@ from .common import (
     fmt,
     fmt_percent,
     make_chip,
+    partition_quarantined,
     prepare_benchmark,
+    quarantine_notes,
     run_experiment_cli,
 )
 from .engine import SweepRunner, SweepTask, expand_grid
@@ -121,6 +123,7 @@ class VariationScenariosResult:
     points: list[VariationPoint] = field(default_factory=list)
     voltage: float = 0.50
     target_fault_rate: float = 0.01
+    quarantined: list[str] = field(default_factory=list)
 
     def points_for(self, shape: str) -> list[VariationPoint]:
         return [point for point in self.points if point.shape == shape]
@@ -177,6 +180,7 @@ class VariationScenariosResult:
                 f"(+{_REGIONAL_DISTURBANCE:.2f} V on one die region).  "
                 "See docs/variation.md."
             ),
+            quarantined=list(self.quarantined),
         )
 
 
@@ -426,11 +430,14 @@ def run_variation_scenarios(
         "measure_error": bool(measure_error),
         "chip_seed": int(chip_seed),
     }
-    points = runner.map(_variation_point_worker, tasks, shared=shared)
+    points, quarantined = partition_quarantined(
+        runner.map(_variation_point_worker, tasks, shared=shared)
+    )
     return VariationScenariosResult(
         points=list(points),
         voltage=float(voltage),
         target_fault_rate=float(target_fault_rate),
+        quarantined=quarantine_notes(quarantined),
     )
 
 

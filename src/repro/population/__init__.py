@@ -1,0 +1,28 @@
+"""Chip-population fleet simulation (see :mod:`repro.population.fleet`).
+
+:class:`ChipPopulation` samples N independent die instances of one chip
+design via per-die ``SeedSequence.spawn`` children and routes a seeded
+synthetic request stream across them at mixed operating points;
+:func:`simulate_die` characterizes one die (Vmin, fault rate, canary
+margin) and serves its slice of the stream; :func:`summarize_fleet`
+aggregates die reports into population Vmin/yield distributions, per-
+operating-point error percentiles, and fleet throughput.
+"""
+
+from .fleet import (
+    ChipPopulation,
+    DieReport,
+    FleetRequest,
+    FleetSummary,
+    simulate_die,
+    summarize_fleet,
+)
+
+__all__ = [
+    "ChipPopulation",
+    "DieReport",
+    "FleetRequest",
+    "FleetSummary",
+    "simulate_die",
+    "summarize_fleet",
+]

@@ -547,6 +547,7 @@ class TestDriverCLIs:
         "table3_comparison",
         "scaling_geometry",
         "variation_scenarios",
+        "fleet_population",
     ])
     def test_help_exits_cleanly_with_shared_flags(self, module_name, capsys):
         module = importlib.import_module(f"repro.experiments.{module_name}")
@@ -559,3 +560,118 @@ class TestDriverCLIs:
             "--retries", "--task-timeout", "--backoff",
         ):
             assert flag in out, f"{module_name} --help is missing {flag}"
+
+
+#: Per-driver (cheap grid args, poison match) for the quarantine-rendering
+#: sweep below.  Matches address one task's ``describe()`` string, so the
+#: queue workers' fault plan quarantines that task while the rest of the
+#: grid completes and the CLI must still print a merged table.
+_QUARANTINE_CASES = [
+    (
+        "fig05_mat_sweep",
+        ["--fault-rates", "0.02", "0.05", "--num-samples", "200",
+         "--adaptive-epochs", "2"],
+        "fault_rate=0.05",
+    ),
+    (
+        "fig09_sram",
+        ["--figure", "a", "--voltages", "0.45", "0.50"],
+        "voltage=0.45",
+    ),
+    (
+        "fig10_error_vs_voltage",
+        ["--benchmarks", "inversek2j", "--voltages", "0.9", "0.5",
+         "--num-samples", "200", "--adaptive-epochs", "2"],
+        "mode=adaptive",
+    ),
+    ("fig11_energy", [], "point=optimized"),
+    (
+        "table1_application_error",
+        ["--benchmarks", "inversek2j", "--voltages", "0.9", "0.5", "0.46",
+         "--num-samples", "200", "--adaptive-epochs", "2"],
+        "mode=adaptive",
+    ),
+    ("table2_energy_scenarios", [], "mode=EnOpt_joint"),
+    ("table3_comparison", ["--num-samples", "200"], "mode=matic"),
+    (
+        "scaling_geometry",
+        ["--workloads", "inversek2j", "--num-pes", "4", "8",
+         "--words-per-bank", "128", "--num-samples", "200"],
+        "num_pes=8",
+    ),
+    (
+        "variation_scenarios",
+        ["--shapes", "iid", "region", "--strengths", "0.5", "--num-dies", "2",
+         "--num-pes", "4", "--words-per-bank", "128", "--num-samples", "200",
+         "--skip-error"],
+        "shape=region",
+    ),
+    (
+        "fleet_population",
+        ["--dies", "2", "--requests", "4", "--num-pes", "4",
+         "--words-per-bank", "128", "--num-samples", "200"],
+        "die=1",
+    ),
+]
+
+
+class TestQuarantineRendering:
+    """A poisoned task must degrade a driver CLI, never crash it.
+
+    Every driver runs its cheapest grid on the queue backend with a fault
+    plan that poisons one task (``PoisonTask`` via ``$REPRO_FAULT_PLAN``,
+    ``--retries 0`` so the first failed attempt quarantines).  The CLI must
+    still print the merged table — healthy rows plus a ``QUARANTINED`` row
+    per sentinel — and exit nonzero so scripted callers notice.
+    """
+
+    @pytest.fixture(scope="class")
+    def shared_cache_dir(self, tmp_path_factory):
+        # one artifact cache across all drivers: prepared benchmarks and
+        # adaptive trainings recall across parametrized cases
+        return str(tmp_path_factory.mktemp("quarantine-cli-cache"))
+
+    @pytest.mark.parametrize(
+        "module_name, args, match",
+        _QUARANTINE_CASES,
+        ids=[case[0] for case in _QUARANTINE_CASES],
+    )
+    def test_poisoned_task_renders_quarantined_row(
+        self, module_name, args, match, shared_cache_dir, monkeypatch, capsys
+    ):
+        from repro.experiments.faults import ENV_FAULT_PLAN, FaultPlan, PoisonTask
+
+        plan = FaultPlan(rules=(PoisonTask(match=match),))
+        monkeypatch.setenv(ENV_FAULT_PLAN, plan.to_json())
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        code = module.main(
+            args
+            + [
+                "--backend", "queue", "--workers", "1", "--retries", "0",
+                "--backoff", "0.05", "--cache-dir", shared_cache_dir,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1, f"{module_name} must exit nonzero when degraded"
+        assert "QUARANTINED" in out
+        assert match in out, "the quarantined row must describe the lost task"
+        assert "quarantined task(s); exiting nonzero" in out
+        # the table itself still rendered (headers plus separator rule)
+        assert "---" in out
+
+    def test_serial_walk_driver_renders_recalled_sentinels(self):
+        """Fig. 12's forced-serial walk cannot be poisoned through the queue,
+        but a shard-merged store can still recall sentinels into its result —
+        rendering must tolerate them like every grid driver."""
+        from repro.experiments.fig12_temperature import Fig12Result
+
+        result = Fig12Result(
+            benchmark="inversek2j",
+            target_voltage=0.50,
+            nominal_error=0.01,
+            steps=[],
+            quarantined=["quarantined after 1 attempt(s) — temperature=85.0"],
+        )
+        text = result.to_experiment_result().to_text()
+        assert "QUARANTINED" in text
+        assert "temperature=85.0" in text
