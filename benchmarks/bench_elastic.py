@@ -48,9 +48,10 @@ from repro.experiments.queue import QueueBackend  # noqa: E402
 
 RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_elastic.json"
 
-BENCHMARK = "inversek2j"
-# all overscaled (< nominal threshold): 6 adaptive tasks + 1 batched naive
-# task = 7 tasks, enough for both chaos kills to fire before the queue drains
+# three benchmarks, all voltages overscaled (< nominal threshold): one
+# batched naive task + one chained adaptive-sweep task per benchmark = 6
+# tasks, enough for both chaos kills to fire before the queue drains
+BENCHMARKS = ("inversek2j", "bscholes", "facedet")
 VOLTAGES = (0.46, 0.48, 0.50, 0.52, 0.54, 0.56)
 NUM_SAMPLES = 240
 ADAPTIVE_EPOCHS = 4
@@ -74,7 +75,7 @@ def _points(result) -> list[tuple]:
 
 def _run_fig10(store: ArtifactCache, runner: SweepRunner):
     return run_fig10(
-        benchmarks=(BENCHMARK,),
+        benchmarks=BENCHMARKS,
         voltages=VOLTAGES,
         num_samples=NUM_SAMPLES,
         adaptive_epochs=ADAPTIVE_EPOCHS,

@@ -203,6 +203,14 @@ def bench_single_die_consistency(cache_dir: str) -> dict:
             and report.requests_by_voltage == direct.requests_by_voltage
             and report.seed == direct.seed
         ),
+        # the fleet run above already profiled this die into the shared
+        # cache, so the direct call must recall it in one batched chip-level
+        # round trip — no per-bank get/put traffic
+        "profile_counters": flow.profile_counters.as_dict(),
+        "profile_recall_is_batched": (
+            flow.profile_counters.chip_hits >= 1
+            and flow.profile_counters.bank_misses == 0
+        ),
     }
 
 
@@ -294,6 +302,11 @@ def main() -> int:
         )
     if not consistency["single_die_bit_identical"]:
         failures.append("N=1 fleet diverged from a direct simulate_die call")
+    if not consistency["profile_recall_is_batched"]:
+        failures.append(
+            "die-0 profile recall was not one batched chip-level hit "
+            f"(counters: {consistency['profile_counters']})"
+        )
     if not quarantine["quarantine_renders_degraded_table"]:
         failures.append(
             "poisoned fleet CLI did not render exactly one QUARANTINED row "

@@ -14,11 +14,18 @@ def test_table1_application_error(benchmark, capsys, prepared_benchmarks):
     """Regenerate the Table I rows (reusing a single Fig. 10-style sweep)."""
 
     def run():
+        # Regenerate through the historical per-voltage adaptive flow
+        # (``warm_start=False`` is bit-identical to it), which the AEI
+        # floors below were calibrated against.  The warm-started default
+        # trades a little per-point adaptive error (within
+        # ``bench_adaptive``'s tolerance) for the >=3x walk speedup, and is
+        # gated qualitatively by ``bench_fig10_error_vs_voltage``.
         sweep = run_fig10(
             benchmarks=("mnist", "facedet", "inversek2j", "bscholes"),
             voltages=(0.90, 0.53, 0.52, 0.51, 0.50, 0.48, 0.46),
             adaptive_epochs=60,
             prepared_benchmarks=prepared_benchmarks,
+            warm_start=False,
         )
         return run_table1(sweep=sweep)
 

@@ -231,6 +231,20 @@ class Snnac:
         self.mcu.sleep()
         return program
 
+    def deploy_quantized(self, program, quantized):
+        """Load pre-quantized weights against a pre-compiled program.
+
+        Behaviourally identical to :meth:`deploy` (same MCU wake/sleep
+        bracket, same storage path) for a caller that already compiled the
+        program and quantized the network — the voltage-axis-batched MATIC
+        flow compiles once per sweep and re-deploys each operating point's
+        retrained weights through this entry point.
+        """
+        self.mcu.wake("deploy model")
+        self.npu.deploy_quantized(program, quantized)
+        self.mcu.sleep()
+        return program
+
     # -------------------------------------------------------- environment
 
     def set_environment(self, environment: EnvironmentalConditions) -> None:

@@ -18,18 +18,28 @@ own chip instance from the per-benchmark chip seed, so parallel and serial
 execution produce identical tables.  Memory-adaptive fine-tuning, the
 dominant cost, is memoized through the flow's training cache.
 
-The two correction modes have different grid shapes.  A *naive* deployment
-is voltage-independent (no profiling, no retraining — only the measurement
-voltage changes), so each benchmark's whole naive curve is **one** task that
-runs the batched :meth:`~repro.matic.flow.MaticDeployment.run_sweep`
-primitive over every voltage: one deployment, refreshed inference per point,
-decoded weight images shared between operating points whose SRAM corruption
-masks are identical.  The *adaptive* mode profiles and retrains per voltage,
-so it stays one task per overscaled grid point.
+Both correction modes are voltage-axis-batched, one task per benchmark.  A
+*naive* deployment is voltage-independent (no profiling, no retraining —
+only the measurement voltage changes), so each benchmark's whole naive curve
+is **one** task that runs the batched
+:meth:`~repro.matic.flow.MaticDeployment.run_sweep` primitive over every
+voltage: one deployment, refreshed inference per point, decoded weight
+images shared between operating points whose SRAM corruption masks are
+identical.  The *adaptive* column is **one chained task** per benchmark
+covering every overscaled point through
+:meth:`~repro.matic.flow.MaticFlow.deploy_adaptive_sweep`: fault maps for
+the whole axis from one sweep-profiling pass, one shared compile, and (by
+default) each operating point's memory-adaptive fine-tuning warm-started
+from the neighboring voltage's converged weights.  ``--no-warm-start``
+retrains every point from the pristine baseline — bit-identical to the
+historical one-task-per-overscaled-grid-point flow.  Both columns stay
+shardable by benchmark and quarantine-safe (a poisoned task blanks its
+benchmark's column, never the table).
 """
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -76,11 +86,14 @@ class VoltagePoint:
 
     Errors are ``None`` when the task that would have measured them was
     quarantined in a merged sweep — the point still renders ("-" cells)
-    instead of crashing the table.
+    instead of crashing the table.  The bit fault rate rides on the adaptive
+    task (it comes from that task's profiling pass), so it is likewise
+    ``None`` — rendered "-", not a misleading ``0.00%`` — when an overscaled
+    point's adaptive measurement is missing.
     """
 
     voltage: float
-    bit_fault_rate: float
+    bit_fault_rate: float | None
     naive_error: float | None
     adaptive_error: float | None
 
@@ -172,9 +185,14 @@ def _fig10_point_worker(shared: dict, task: SweepTask) -> dict:
     about the deployment depends on voltage) and measured at every swept
     voltage through the batched ``run_sweep`` primitive — bit-identical to
     the historical one-fresh-chip-per-voltage measurement because each point
-    refreshes the weights before reading.  An ``adaptive`` task measures one
-    (benchmark, voltage) point, since memory-adaptive training is specific
-    to the profiled operating point.
+    refreshes the weights before reading.  An ``adaptive`` task covers the
+    benchmark's *entire overscaled axis* in one chained
+    :meth:`~repro.matic.flow.MaticFlow.deploy_adaptive_sweep` walk —
+    memory-adaptive training stays specific to each profiled operating
+    point, but profiling, compilation, and (with ``warm_start``) the
+    starting weights are shared along the axis; each point's on-chip error
+    is measured through the sweep's ``measure`` callback while that point's
+    weights are resident.
     """
     prepared: PreparedBenchmark = shared["prepared"][task.benchmark]
     flow: MaticFlow = shared["flow"]
@@ -207,27 +225,34 @@ def _fig10_point_worker(shared: dict, task: SweepTask) -> dict:
             ],
         }
     else:
-        deployment = flow.deploy_adaptive(
+        points = flow.deploy_adaptive_sweep(
             chip,
             prepared.spec.topology,
             prepared.train,
-            target_voltage=task.voltage,
+            voltages=[float(v) for v in task.param("voltages")],
             loss=prepared.spec.loss,
             initial_network=prepared.baseline,
             select_canaries=False,
-        )
-        error = prepared.spec.error(
-            deployment.run_at(prepared.test.inputs), prepared.test
-        )
-        fault_rate = float(
-            np.mean([fault_map.fault_rate for fault_map in deployment.fault_maps])
+            warm_start=bool(task.param("warm_start", True)),
+            measure=lambda deployment: prepared.spec.error(
+                deployment.run_at(prepared.test.inputs), prepared.test
+            ),
         )
         return {
             "benchmark": task.benchmark,
-            "voltage": task.voltage,
             "mode": "adaptive",
-            "error": error,
-            "fault_rate": fault_rate,
+            "points": [
+                {
+                    "voltage": point.voltage,
+                    "error": point.measurement,
+                    "fault_rate": float(
+                        np.mean(
+                            [fm.fault_rate for fm in point.deployment.fault_maps]
+                        )
+                    ),
+                }
+                for point in points
+            ],
         }
 
 
@@ -242,8 +267,14 @@ def run_fig10(
     prepared_benchmarks: dict[str, PreparedBenchmark] | None = None,
     runner: SweepRunner | None = None,
     cache: ArtifactCache | None = None,
+    warm_start: bool = True,
 ) -> Fig10Result:
-    """Run the full voltage sweep for the requested benchmarks."""
+    """Run the full voltage sweep for the requested benchmarks.
+
+    ``warm_start=False`` retrains every adaptive operating point from the
+    pristine baseline under the flow's full training budget — bit-identical
+    to the historical per-voltage adaptive flow.
+    """
     cache = cache if cache is not None else default_cache()
     flow = flow or default_flow(epochs=adaptive_epochs, seed=seed, cache=cache)
     runner = runner or SweepRunner()
@@ -258,17 +289,23 @@ def run_fig10(
             )
 
     # one batched naive task per benchmark covers the whole voltage axis; at
-    # nominal voltage MATIC is a no-op, so adaptive tasks exist only for the
-    # overscaled points and the naive error is reused during assembly
+    # nominal voltage MATIC is a no-op, so the adaptive task covers only the
+    # overscaled points (one chained sweep task per benchmark) and the naive
+    # error is reused at nominal during assembly
     voltage_axis = tuple(float(voltage) for voltage in voltages)
+    overscaled = tuple(v for v in voltage_axis if v < NOMINAL_THRESHOLD)
     grid: list[dict] = []
     for name in benchmarks:
         grid.append({"benchmark": name, "mode": "naive", "voltages": voltage_axis})
-        grid.extend(
-            {"benchmark": name, "voltage": float(voltage), "mode": "adaptive"}
-            for voltage in voltages
-            if voltage < NOMINAL_THRESHOLD
-        )
+        if overscaled:
+            grid.append(
+                {
+                    "benchmark": name,
+                    "mode": "adaptive",
+                    "voltages": overscaled,
+                    "warm_start": bool(warm_start),
+                }
+            )
     tasks = expand_grid(params=grid, seed=seed)
     shared = {
         "prepared": prepared,
@@ -283,13 +320,12 @@ def run_fig10(
     naive_by_point: dict[tuple[str, float], float] = {}
     adaptive_by_point: dict[tuple[str, float], dict] = {}
     for measurement in measurements:
-        if measurement["mode"] == "naive":
-            for point in measurement["points"]:
-                key = (measurement["benchmark"], round(point["voltage"], 9))
+        for point in measurement["points"]:
+            key = (measurement["benchmark"], round(point["voltage"], 9))
+            if measurement["mode"] == "naive":
                 naive_by_point[key] = point["error"]
-        else:
-            key = (measurement["benchmark"], round(measurement["voltage"], 9))
-            adaptive_by_point[key] = measurement
+            else:
+                adaptive_by_point[key] = point
     result = Fig10Result(quarantined=quarantine_notes(quarantined))
     for name in benchmarks:
         sweep = BenchmarkSweep(
@@ -300,8 +336,9 @@ def run_fig10(
         for voltage in voltages:
             key = (name, round(float(voltage), 9))
             # a quarantined naive task leaves the whole benchmark's naive
-            # curve missing; a quarantined adaptive task leaves one point —
-            # either way the point renders with "-" instead of crashing
+            # curve missing; a quarantined adaptive task leaves every
+            # overscaled point — either way the points render with "-"
+            # instead of crashing
             naive_error = naive_by_point.get(key)
             adaptive = adaptive_by_point.get(key)
             adaptive_error = adaptive["error"] if adaptive else naive_error
@@ -309,10 +346,18 @@ def run_fig10(
                 # overscaled points always have an adaptive task; its absence
                 # means quarantine, not "MATIC is a no-op here"
                 adaptive_error = None
+            if adaptive is not None:
+                bit_fault_rate = adaptive["fault_rate"]
+            elif voltage < NOMINAL_THRESHOLD:
+                # the fault rate rides on the quarantined adaptive task, so
+                # it was never measured — "-" beats a misleading 0.00%
+                bit_fault_rate = None
+            else:
+                bit_fault_rate = 0.0
             sweep.points.append(
                 VoltagePoint(
                     voltage=float(voltage),
-                    bit_fault_rate=adaptive["fault_rate"] if adaptive else 0.0,
+                    bit_fault_rate=bit_fault_rate,
                     naive_error=naive_error,
                     adaptive_error=adaptive_error,
                 )
@@ -339,6 +384,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--adaptive-epochs", type=int, default=60)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--chip-seed", type=int, default=11)
+    parser.add_argument(
+        "--warm-start",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="warm-start each adaptive operating point from the neighboring "
+        "voltage's converged weights (--no-warm-start retrains every point "
+        "from the pristine baseline, bit-identical to the historical flow)",
+    )
     args = parser.parse_args(argv)
     return run_experiment_cli(
         args,
@@ -352,6 +405,7 @@ def main(argv: list[str] | None = None) -> int:
             chip_seed=args.chip_seed,
             runner=runner,
             cache=cache,
+            warm_start=args.warm_start,
         ),
     )
 

@@ -11,6 +11,7 @@ factor MATIC delivers.  The final row is the benchmark-average AEI reduction
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -176,6 +177,7 @@ def run_table1(
     sweep: Fig10Result | None = None,
     runner=None,
     cache=None,
+    warm_start: bool = True,
 ) -> Table1Result:
     """Regenerate Table I (reusing a Fig. 10 sweep when provided).
 
@@ -195,6 +197,7 @@ def run_table1(
             seed=seed,
             runner=runner,
             cache=cache,
+            warm_start=warm_start,
         )
     result = Table1Result(sweep=sweep)
     for name in benchmarks:
@@ -236,6 +239,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--num-samples", type=int, default=None)
     parser.add_argument("--adaptive-epochs", type=int, default=60)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--warm-start",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="warm-start each adaptive operating point from the neighboring "
+        "voltage's converged weights (--no-warm-start retrains every point "
+        "from the pristine baseline, bit-identical to the historical flow)",
+    )
     args = parser.parse_args(argv)
     return run_experiment_cli(
         args,
@@ -248,6 +259,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             runner=runner,
             cache=cache,
+            warm_start=args.warm_start,
         ),
     )
 

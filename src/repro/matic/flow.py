@@ -20,7 +20,8 @@ application-error experiment compares against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
 
 import numpy as np
 
@@ -37,7 +38,13 @@ from .canary import CanaryBit, CanaryController, CanarySelector
 from .masking import FaultMaskSet
 from .training import MemoryAdaptiveTrainer
 
-__all__ = ["TrainingConfig", "MaticDeployment", "MaticFlow"]
+__all__ = [
+    "TrainingConfig",
+    "MaticDeployment",
+    "AdaptiveSweepPoint",
+    "ProfileCacheCounters",
+    "MaticFlow",
+]
 
 
 @dataclass
@@ -56,6 +63,42 @@ class TrainingConfig:
     #: tight, which bounds the damage a single stuck bit can do
     weight_decay: float = 2.0e-4
     seed: int | None = 0
+
+
+@dataclass
+class ProfileCacheCounters:
+    """Cache-traffic accounting for :meth:`MaticFlow.profile_chip` and friends.
+
+    One counter pair per memoization granularity: whole-chip records
+    (``fault-map-chip``), per-bank records (``fault-map``), and per-bank
+    voltage-axis records (``fault-map-sweep``).  Counters are per-process —
+    parallel sweep workers each count their own flow copy — and exist so the
+    fleet/population and adaptive benchmarks can assert *how* a warm run was
+    served (one chip-level round trip, zero bank re-profiles) instead of
+    inferring it from wall time.
+    """
+
+    chip_hits: int = 0
+    chip_misses: int = 0
+    bank_hits: int = 0
+    bank_misses: int = 0
+    sweep_hits: int = 0
+    sweep_misses: int = 0
+
+    def reset(self) -> None:
+        self.chip_hits = self.chip_misses = 0
+        self.bank_hits = self.bank_misses = 0
+        self.sweep_hits = self.sweep_misses = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "chip_hits": self.chip_hits,
+            "chip_misses": self.chip_misses,
+            "bank_hits": self.bank_hits,
+            "bank_misses": self.bank_misses,
+            "sweep_hits": self.sweep_hits,
+            "sweep_misses": self.sweep_misses,
+        }
 
 
 @dataclass
@@ -101,6 +144,27 @@ class MaticDeployment:
             sram_voltages = [self.target_voltage]
         results = self.chip.run_voltage_sweep(inputs, sram_voltages)
         return [outputs for outputs, _ in results]
+
+
+@dataclass
+class AdaptiveSweepPoint:
+    """One operating point of a batched adaptive deployment walk.
+
+    Produced by :meth:`MaticFlow.deploy_adaptive_sweep`.  All points of a
+    walk share one chip, so ``deployment.chip`` carries the *most recently*
+    deployed model — per-point on-chip measurements must happen through the
+    walk's ``measure`` callback (captured here as ``measurement``) while the
+    point's weights are resident, not retroactively through stale
+    deployment handles.
+    """
+
+    voltage: float
+    deployment: MaticDeployment
+    history: TrainingHistory | None
+    measurement: Any = None
+    #: whether this point's fine-tuning started from the neighboring
+    #: (next-higher) voltage's converged weights instead of the baseline
+    warm_started: bool = False
 
 
 class MaticFlow:
@@ -155,6 +219,19 @@ class MaticFlow:
         self.canary_strategy = canary_strategy
         self.canary_placement = canary_placement
         self.training_cache = training_cache
+        #: per-process cache-traffic accounting for the profiling memoization
+        self.profile_counters = ProfileCacheCounters()
+        # in-process memo for compiled NPU programs: placement/schedule are a
+        # pure function of (topology, activations, formats, geometry), so one
+        # compile serves every voltage of a sweep and every repeat deployment
+        self._program_memo: dict = {}
+
+    def __getstate__(self) -> dict:
+        # compiled programs are cheap to rebuild and per-process anyway; keep
+        # the shared payload shipped to sweep workers lean
+        state = self.__dict__.copy()
+        state["_program_memo"] = {}
+        return state
 
     # ------------------------------------------------------------ pieces
 
@@ -238,11 +315,15 @@ class MaticFlow:
     ) -> list[FaultMap]:
         """Profile every weight bank of ``chip`` at the target voltage.
 
-        When a ``training_cache`` is attached, each bank's fault map is
-        memoized through it (kind ``"fault-map"``, keyed per
-        :meth:`_profile_cache_key`), so re-profiling the same deterministic
-        (chip, voltage, temperature) point across driver runs is a cache hit
-        that returns bit-identical maps without touching the bank.
+        When a ``training_cache`` is attached, the profile is memoized at two
+        granularities.  The warm path is **one** round trip: a whole-chip
+        record (kind ``"fault-map-chip"``, keyed on the tuple of every bank's
+        :meth:`_profile_cache_key`) returns all banks' maps from a single
+        ``get``.  On a chip-record miss the per-bank records (kind
+        ``"fault-map"``, one key per bank) are consulted and populated as
+        before — so partially warmed caches still skip every bank they can —
+        and the chip record is stored for the next run.  Hit/miss traffic at
+        both granularities is reported through :attr:`profile_counters`.
 
         Soundness caveat: profiling overwrites bank contents with test
         patterns, and the measurement is only side-effect-free because
@@ -257,33 +338,168 @@ class MaticFlow:
         if cache is None or not profiler.restore_contents:
             reports = profiler.profile_memory_system(chip.memory, voltage, temperature)
             return [report.fault_map for report in reports]
+        counters = self.profile_counters
+        bank_keys = [
+            self._profile_cache_key(bank, voltage, temperature, profiler)
+            for bank in chip.memory
+        ]
+        chip_key = {"banks": tuple(bank_keys)}
+        cached_chip = cache.get("fault-map-chip", chip_key)
+        if cached_chip is not None:
+            counters.chip_hits += 1
+            return [
+                FaultMap.from_arrays(stuck_mask, stuck_values)
+                for stuck_mask, stuck_values in cached_chip
+            ]
+        counters.chip_misses += 1
         fault_maps: list[FaultMap] = []
-        for bank in chip.memory:
-            key = self._profile_cache_key(bank, voltage, temperature, profiler)
+        for bank, key in zip(chip.memory, bank_keys):
             cached = cache.get("fault-map", key)
             if cached is not None:
+                counters.bank_hits += 1
                 stuck_mask, stuck_values = cached
                 fault_maps.append(FaultMap.from_arrays(stuck_mask, stuck_values))
                 continue
+            counters.bank_misses += 1
             fault_map = profiler.profile_bank(bank, voltage, temperature).fault_map
             cache.put("fault-map", key, (fault_map.stuck_mask, fault_map.stuck_values))
             fault_maps.append(fault_map)
+        cache.put(
+            "fault-map-chip",
+            chip_key,
+            tuple((fm.stuck_mask, fm.stuck_values) for fm in fault_maps),
+        )
         return fault_maps
+
+    def profile_chip_sweep(
+        self,
+        chip: Snnac,
+        voltages,
+        temperature: float = calibration.NOMINAL_TEMPERATURE,
+        profiler: SramProfiler | None = None,
+    ) -> list[list[FaultMap]]:
+        """Profile every weight bank of ``chip`` at every voltage of an axis.
+
+        Returns ``maps[i][b]`` — the fault map of bank ``b`` at
+        ``voltages[i]`` — derived from **one** pass over each bank's sampled
+        cell population (:meth:`~repro.sram.profiler.SramProfiler.profile_bank_sweep`:
+        a cell fails iff the voltage is below its effective V_min, so the
+        whole axis is a single vectorized comparison).  The derivation is
+        asserted bit-identical to per-voltage :meth:`profile_chip` /
+        ``profile_bank`` by the equivalence oracle in
+        ``tests/test_adaptive_sweep.py``; profilers whose procedure the
+        analytic path cannot reproduce fall back to measured per-voltage
+        profiling inside ``profile_bank_sweep`` itself.
+
+        With a ``training_cache`` attached the axis is memoized as **one**
+        ``"fault-map-sweep"`` record per bank (keyed like
+        :meth:`_profile_cache_key` with the voltage axis in place of the
+        single voltage) instead of ``len(voltages) × banks`` round trips.
+        The same ``restore_contents`` soundness caveat as
+        :meth:`profile_chip` applies.
+        """
+        profiler = profiler if profiler is not None else SramProfiler()
+        voltage_axis = tuple(float(v) for v in voltages)
+        cache = self.training_cache
+        counters = self.profile_counters
+        maps_by_bank: list[list[FaultMap]] = []
+        for bank in chip.memory:
+            if cache is None or not profiler.restore_contents:
+                reports = profiler.profile_bank_sweep(bank, voltage_axis, temperature)
+                maps_by_bank.append([report.fault_map for report in reports])
+                continue
+            key = self._profile_cache_key(bank, 0.0, temperature, profiler)
+            del key["voltage"]
+            key["voltages"] = voltage_axis
+            cached = cache.get("fault-map-sweep", key)
+            if cached is not None:
+                counters.sweep_hits += 1
+                maps_by_bank.append(
+                    [
+                        FaultMap.from_arrays(stuck_mask, stuck_values)
+                        for stuck_mask, stuck_values in cached
+                    ]
+                )
+                continue
+            counters.sweep_misses += 1
+            reports = profiler.profile_bank_sweep(bank, voltage_axis, temperature)
+            maps = [report.fault_map for report in reports]
+            cache.put(
+                "fault-map-sweep",
+                key,
+                tuple((fm.stuck_mask, fm.stuck_values) for fm in maps),
+            )
+            maps_by_bank.append(maps)
+        return [
+            [maps_by_bank[b][i] for b in range(len(maps_by_bank))]
+            for i in range(len(voltage_axis))
+        ]
+
+    def compile_program(
+        self,
+        network: Network,
+        chip: Snnac,
+        quantizer: WeightQuantizer | None = None,
+    ) -> NpuProgram:
+        """Compile (or recall) the NPU program for (network, chip geometry).
+
+        The compiled placement and execution schedule are a pure function of
+        the network's topology/activations, the per-layer fixed-point
+        formats, and the chip geometry — none of which depend on the SRAM
+        voltage — so the program is memoized in-process on exactly that
+        content and one compile serves every operating point of a sweep
+        (and every repeat deployment of the same model shape).
+        """
+        quantizer = quantizer if quantizer is not None else self.quantizer_for(network)
+        formats = quantizer.layer_formats(network)
+        key = (
+            tuple(network.widths),
+            tuple(layer.activation.name for layer in network.layers),
+            tuple(
+                (
+                    fmt.weight_format.total_bits,
+                    fmt.weight_format.frac_bits,
+                    fmt.bias_format.total_bits,
+                    fmt.bias_format.frac_bits,
+                )
+                for fmt in formats
+            ),
+            len(chip.memory),
+            min(bank.num_words for bank in chip.memory),
+            int(chip.config.pipeline_overhead),
+        )
+        program = self._program_memo.get(key)
+        if program is None:
+            compiler = MicrocodeCompiler(
+                num_pes=len(chip.memory),
+                words_per_bank=min(bank.num_words for bank in chip.memory),
+                pipeline_overhead=chip.config.pipeline_overhead,
+            )
+            program = compiler.compile(network, quantizer)
+            self._program_memo[key] = program
+        return program
 
     def build_mask_set(
         self,
         network: Network,
         chip: Snnac,
         fault_maps: list[FaultMap],
+        quantizer: WeightQuantizer | None = None,
+        program: NpuProgram | None = None,
     ) -> FaultMaskSet:
-        """Convert per-bank fault maps into per-layer injection masks."""
-        quantizer = self.quantizer_for(network)
-        compiler = MicrocodeCompiler(
-            num_pes=len(chip.memory),
-            words_per_bank=min(bank.num_words for bank in chip.memory),
-            pipeline_overhead=chip.config.pipeline_overhead,
-        )
-        program = compiler.compile(network, quantizer)
+        """Convert per-bank fault maps into per-layer injection masks.
+
+        ``quantizer`` and ``program`` let sweep callers hoist the format
+        choice and the compile out of the per-voltage loop: the placement is
+        voltage-invariant, so one compiled program translates every operating
+        point's fault maps.  When omitted they are derived from ``network``
+        (formats fitted from its *current* weights, then frozen) exactly as
+        before the hoist.
+        """
+        if quantizer is None:
+            quantizer = self.quantizer_for(network)
+        if program is None:
+            program = self.compile_program(network, chip, quantizer)
         return FaultMaskSet.from_fault_maps(
             network,
             quantizer,
@@ -298,6 +514,7 @@ class MaticFlow:
         mask_set: FaultMaskSet,
         train: Dataset,
         validation: Dataset | None,
+        config: TrainingConfig | None = None,
     ) -> dict:
         """Content key addressing one memory-adaptive fine-tuning run.
 
@@ -306,8 +523,16 @@ class MaticFlow:
         structure/loss and the per-layer quantization formats participate
         because identically initialized networks trained under different
         objectives or word layouts must never share an artifact.
+
+        ``config`` is the hyper-parameter set that will actually train
+        (default: the flow's).  Warm-started sweep points pass their reduced
+        config here, and their lineage — which voltage's converged weights
+        they started from — is already folded in through ``initial`` (the
+        network's master weights *are* the lineage), so warm and cold
+        artifacts can never collide: they differ in initial weights, epochs,
+        or both.
         """
-        config = self.training
+        config = config if config is not None else self.training
         return {
             "network": {
                 "widths": tuple(network.widths),
@@ -358,15 +583,21 @@ class MaticFlow:
         mask_set: FaultMaskSet,
         train: Dataset,
         validation: Dataset | None,
+        config: TrainingConfig | None = None,
     ) -> TrainingHistory | None:
         """Run (or recall) memory-adaptive fine-tuning; mutates ``network``.
 
-        Returns the training history, or ``None`` when the trained weights
-        came from the training cache (histories are not cached).
+        ``config`` overrides the flow's training hyper-parameters for this
+        fit (warm-started sweep points train fewer epochs); it participates
+        in the memoization key, so differently configured fits never share
+        artifacts.  Returns the training history, or ``None`` when the
+        trained weights came from the training cache (histories are not
+        cached).
         """
+        config = config if config is not None else self.training
         key = None
         if self.training_cache is not None:
-            key = self._adaptive_cache_key(network, mask_set, train, validation)
+            key = self._adaptive_cache_key(network, mask_set, train, validation, config)
             cached = self.training_cache.get("trained-weights", key)
             if cached is not None:
                 # restore the master weights, then reinstall the masked
@@ -376,24 +607,49 @@ class MaticFlow:
                 network.set_weights(cached)
                 mask_set.install(network)
                 return None
-        trainer = MemoryAdaptiveTrainer(
-            network,
-            mask_set,
-            optimizer=self.training.optimizer,
-            learning_rate=self.training.learning_rate,
-            batch_size=self.training.batch_size,
-            epochs=self.training.epochs,
-            patience=self.training.patience,
-            lr_decay=self.training.lr_decay,
-            weight_decay=self.training.weight_decay,
-            seed=self.training.seed,
-        )
+        trainer = MemoryAdaptiveTrainer.from_config(network, mask_set, config)
         history = trainer.fit(train, validation=validation)
         if self.training_cache is not None and key is not None:
             self.training_cache.put("trained-weights", key, network.get_weights())
         return history
 
     # ----------------------------------------------------------- the flow
+
+    def _starting_network(
+        self,
+        topology: str | Topology,
+        loss: str,
+        hidden_activation: str,
+        output_activation: str,
+        initial_network: Network | None,
+    ) -> Network:
+        """The network adaptive training starts from (pristine copy)."""
+        if initial_network is not None:
+            return initial_network.copy()
+        if isinstance(topology, Topology):
+            return Network(topology, loss=loss, seed=self.training.seed)
+        return Network(
+            topology,
+            hidden_activation=hidden_activation,
+            output_activation=output_activation,
+            loss=loss,
+            seed=self.training.seed,
+        )
+
+    def _select_canaries(self, chip: Snnac, target_voltage: float, program: NpuProgram):
+        """Pick in-situ canaries and build the runtime controller."""
+        selector = CanarySelector(
+            canaries_per_bank=self.canaries_per_bank,
+            strategy=self.canary_strategy,
+            placement=self.canary_placement,
+        )
+        canaries = selector.select(
+            chip.memory,
+            target_voltage,
+            used_words_per_bank=program.placement.words_used_per_pe,
+        )
+        controller = CanaryController(chip, canaries) if canaries else None
+        return canaries, controller
 
     def deploy_adaptive(
         self,
@@ -417,42 +673,27 @@ class MaticFlow:
         # 1. profile the chip's weight memories at the target voltage
         fault_maps = self.profile_chip(chip, target_voltage)
 
-        # 2. memory-adaptive training with the profiled injection masks
-        if initial_network is not None:
-            network = initial_network.copy()
-        elif isinstance(topology, Topology):
-            network = Network(topology, loss=loss, seed=self.training.seed)
-        else:
-            network = Network(
-                topology,
-                hidden_activation=hidden_activation,
-                output_activation=output_activation,
-                loss=loss,
-                seed=self.training.seed,
-            )
+        # 2. memory-adaptive training with the profiled injection masks; the
+        # formats are frozen from the pristine starting weights and the
+        # program compiled once — mask translation and deployment share it
+        network = self._starting_network(
+            topology, loss, hidden_activation, output_activation, initial_network
+        )
         quantizer = self.quantizer_for(network)
-        mask_set = self.build_mask_set(network, chip, fault_maps)
+        program = self.compile_program(network, chip, quantizer)
+        mask_set = self.build_mask_set(
+            network, chip, fault_maps, quantizer=quantizer, program=program
+        )
         history = self.fit_adaptive(network, mask_set, train, validation)
 
         # 3. deploy the trained model to the chip (quantized master weights)
-        program = chip.deploy(network, quantizer)
+        chip.deploy_quantized(program, quantizer.quantize_network(network))
 
         # 4. select in-situ canaries and build the runtime controller
         canaries: list[CanaryBit] = []
         controller = None
         if select_canaries:
-            selector = CanarySelector(
-                canaries_per_bank=self.canaries_per_bank,
-                strategy=self.canary_strategy,
-                placement=self.canary_placement,
-            )
-            canaries = selector.select(
-                chip.memory,
-                target_voltage,
-                used_words_per_bank=program.placement.words_used_per_pe,
-            )
-            if canaries:
-                controller = CanaryController(chip, canaries)
+            canaries, controller = self._select_canaries(chip, target_voltage, program)
 
         chip.sram_regulator.set_voltage(target_voltage)
         return MaticDeployment(
@@ -467,6 +708,139 @@ class MaticFlow:
             controller=controller,
             history=history,
         )
+
+    def deploy_adaptive_sweep(
+        self,
+        chip: Snnac,
+        topology: str | Topology,
+        train: Dataset,
+        validation: Dataset | None = None,
+        voltages=(0.53, 0.50, 0.46),
+        loss: str = "mse",
+        hidden_activation: str = "sigmoid",
+        output_activation: str = "sigmoid",
+        initial_network: Network | None = None,
+        select_canaries: bool = False,
+        warm_start: bool = True,
+        warm_epochs: int | None = None,
+        warm_patience: int | None = None,
+        measure: Callable[[MaticDeployment], Any] | None = None,
+    ) -> list[AdaptiveSweepPoint]:
+        """Run the MATIC flow across a whole voltage axis on one chip.
+
+        The batched equivalent of calling :meth:`deploy_adaptive` once per
+        voltage, with three wins:
+
+        1. **Sweep profiling** — every operating point's fault maps come from
+           one :meth:`profile_chip_sweep` pass (one vectorized V_min
+           comparison per bank, one cache record per bank) instead of a full
+           measured profile per voltage.
+        2. **Shared compile** — the placement/program is voltage-invariant,
+           so the model is compiled once and every point translates its fault
+           maps and deploys against the cached program.
+        3. **Warm-started MAT** — with ``warm_start=True`` the walk proceeds
+           high→low and fine-tunes each point starting from the neighboring
+           (next-higher) voltage's converged weights under a reduced budget
+           (``warm_epochs``, default ``max(1, epochs // 6)``, and
+           ``warm_patience``) instead of retraining from the pristine
+           baseline; neighboring fault maps are nested, so the previous
+           point's weights are already nearly adapted.  The trained-weights
+           cache key folds the lineage in naturally — the warm initial
+           weights *are* the previous point's converged masters — so warm
+           and cold artifacts can never collide.
+
+        With ``warm_start=False`` every point trains from the pristine
+        baseline under the flow's full config: bit-identical to the
+        historical per-voltage :meth:`deploy_adaptive` loop (same initial
+        weights, same maps, same masks, same hyper-parameters — the same
+        trained-weights cache keys, so the two spellings even share
+        artifacts).
+
+        All points share ``chip``, which is serially re-deployed as the walk
+        advances; per-point on-chip measurements must therefore happen
+        through ``measure(deployment)``, invoked while that point's weights
+        are resident (its return value lands in the point's ``measurement``
+        field).  Results are returned in ``voltages`` order regardless of
+        walk order.
+        """
+        voltage_axis = tuple(float(v) for v in voltages)
+        if not voltage_axis:
+            raise ValueError("deploy_adaptive_sweep needs at least one voltage")
+
+        # 1. one profiling pass covers the whole axis
+        maps_per_voltage = self.profile_chip_sweep(chip, voltage_axis)
+
+        # 2. freeze formats and compile once, from the pristine baseline —
+        # warm-started weights must not shift the word layout mid-sweep, or
+        # the per-voltage masks would describe different deployed words
+        base = self._starting_network(
+            topology, loss, hidden_activation, output_activation, initial_network
+        )
+        quantizer = self.quantizer_for(base)
+        program = self.compile_program(base, chip, quantizer)
+
+        warm_config = replace(
+            self.training,
+            epochs=(
+                int(warm_epochs)
+                if warm_epochs is not None
+                else max(1, self.training.epochs // 6)
+            ),
+            patience=(
+                warm_patience if warm_patience is not None else self.training.patience
+            ),
+        )
+
+        # 3. walk the axis high→low so each point's faults are a superset of
+        # its warm-start parent's (ties keep input order)
+        order = sorted(range(len(voltage_axis)), key=lambda i: (-voltage_axis[i], i))
+        points: dict[int, AdaptiveSweepPoint] = {}
+        previous: Network | None = None
+        for index in order:
+            target_voltage = voltage_axis[index]
+            fault_maps = maps_per_voltage[index]
+            warm = warm_start and previous is not None
+            network = (previous if warm else base).copy()
+            mask_set = self.build_mask_set(
+                network, chip, fault_maps, quantizer=quantizer, program=program
+            )
+            history = self.fit_adaptive(
+                network,
+                mask_set,
+                train,
+                validation,
+                config=warm_config if warm else None,
+            )
+            chip.deploy_quantized(program, quantizer.quantize_network(network))
+            canaries: list[CanaryBit] = []
+            controller = None
+            if select_canaries:
+                canaries, controller = self._select_canaries(
+                    chip, target_voltage, program
+                )
+            chip.sram_regulator.set_voltage(target_voltage)
+            deployment = MaticDeployment(
+                chip=chip,
+                network=network,
+                program=program,
+                quantizer=quantizer,
+                fault_maps=fault_maps,
+                mask_set=mask_set,
+                target_voltage=target_voltage,
+                canaries=canaries,
+                controller=controller,
+                history=history,
+            )
+            measurement = measure(deployment) if measure is not None else None
+            points[index] = AdaptiveSweepPoint(
+                voltage=target_voltage,
+                deployment=deployment,
+                history=history,
+                measurement=measurement,
+                warm_started=warm,
+            )
+            previous = network
+        return [points[index] for index in range(len(voltage_axis))]
 
     def deploy_naive(
         self,

@@ -74,6 +74,31 @@ class MemoryAdaptiveTrainer(Trainer):
             raise ValueError("mask set depth does not match the network")
         self.mask_set = mask_set
 
+    @classmethod
+    def from_config(cls, network: Network, mask_set: FaultMaskSet, config) -> "MemoryAdaptiveTrainer":
+        """Build a trainer from a :class:`repro.matic.flow.TrainingConfig`.
+
+        The single construction point the MATIC flow uses for both cold
+        (full-budget) and warm-started (reduced ``epochs``/``patience``)
+        fine-tuning runs — every hyper-parameter comes from ``config``, so a
+        sweep that swaps configs between operating points can never leak a
+        stale setting from the flow's defaults.  ``config`` is duck-typed to
+        avoid a circular import; any object with the ``TrainingConfig``
+        fields works.
+        """
+        return cls(
+            network,
+            mask_set,
+            optimizer=config.optimizer,
+            learning_rate=config.learning_rate,
+            batch_size=config.batch_size,
+            epochs=config.epochs,
+            patience=config.patience,
+            lr_decay=config.lr_decay,
+            weight_decay=config.weight_decay,
+            seed=config.seed,
+        )
+
     # ------------------------------------------------------------------
 
     def _install_masked_view(self) -> None:

@@ -171,6 +171,86 @@ class SramProfiler:
             pattern_errors=pattern_errors,
         )
 
+    def profile_bank_sweep(
+        self,
+        bank: SramBank,
+        voltages,
+        temperature: float = calibration.NOMINAL_TEMPERATURE,
+    ) -> list[ProfileReport]:
+        """Profile one bank at every voltage of an axis in a single pass.
+
+        A cell corrupts a read at voltage ``v`` iff its effective
+        V_min,read exceeds ``v``, and the read-after-read procedure records
+        it iff at least one test pattern stores the opposite of its
+        preferred state in that cell (the second read always returns the
+        preferred state).  Both facts are voltage-independent except for the
+        single threshold comparison, so the whole axis reduces to one
+        vectorized comparison of the bank's effective V_min population
+        against the voltage vector plus a per-pattern detectability mask —
+        no writes, no reads, no restore round trips.
+
+        The derivation is asserted bit-identical to per-voltage
+        :meth:`profile_bank` by the equivalence oracle in
+        ``tests/test_adaptive_sweep.py`` and ``benchmarks/bench_adaptive.py``.
+        It is only valid for *this class's* measurement procedure under
+        ``restore_contents=True``: a subclass that overrides
+        :meth:`profile_bank` (different procedure) or a profiler configured
+        with ``restore_contents=False`` (profiling side effects are part of
+        the contract) falls back to the measured per-voltage loop, whose
+        behaviour is definitionally correct.
+
+        Returns one :class:`ProfileReport` per entry of ``voltages``, in
+        input order.
+        """
+        voltage_axis = [float(v) for v in voltages]
+        for v in voltage_axis:
+            if v <= 0:
+                raise ValueError("voltage must be positive")
+        if (
+            type(self).profile_bank is not SramProfiler.profile_bank
+            or not self.restore_contents
+        ):
+            return [self.profile_bank(bank, v, temperature) for v in voltage_axis]
+
+        vmin = bank.effective_vmin(temperature)
+        preferred = np.asarray(bank.cells.preferred_state, dtype=np.uint8)
+        # which cells each pattern can expose: the background bit must differ
+        # from the preferred state the cell flips to
+        pattern_exposes = {
+            name: self._words_to_bits(
+                np.full(bank.num_words, pattern, dtype=np.uint64), bank.word_bits
+            )
+            != preferred
+            for name, pattern in self.patterns_for(bank).items()
+        }
+        detectable = np.zeros((bank.num_words, bank.word_bits), dtype=bool)
+        for exposes in pattern_exposes.values():
+            detectable |= exposes
+
+        reports = []
+        for v in voltage_axis:
+            disturbed = vmin > v
+            pattern_errors = {
+                name: int(np.count_nonzero(disturbed & exposes))
+                for name, exposes in pattern_exposes.items()
+            }
+            # the first read flips disturbed cells to their preferred state in
+            # storage and the second confirms them there, so both passes see
+            # exactly the pattern-exposed disturbed cells
+            errors = sum(pattern_errors.values())
+            reports.append(
+                ProfileReport(
+                    bank_name=bank.name,
+                    voltage=v,
+                    temperature=float(temperature),
+                    fault_map=FaultMap.from_arrays(disturbed & detectable, preferred),
+                    read_after_write_errors=errors,
+                    read_after_read_errors=errors,
+                    pattern_errors=pattern_errors,
+                )
+            )
+        return reports
+
     def profile_memory_system(
         self,
         memory: WeightMemorySystem,

@@ -560,6 +560,11 @@ class TestDriverCLIs:
             "--retries", "--task-timeout", "--backoff",
         ):
             assert flag in out, f"{module_name} --help is missing {flag}"
+        if module_name in ("fig10_error_vs_voltage", "table1_application_error"):
+            # the adaptive column's warm-start toggle (and its cold-path
+            # spelling) must be advertised by both drivers that run it
+            for flag in ("--warm-start", "--no-warm-start"):
+                assert flag in out, f"{module_name} --help is missing {flag}"
 
 
 #: Per-driver (cheap grid args, poison match) for the quarantine-rendering
@@ -658,6 +663,53 @@ class TestQuarantineRendering:
         assert "quarantined task(s); exiting nonzero" in out
         # the table itself still rendered (headers plus separator rule)
         assert "---" in out
+
+    def test_quarantined_adaptive_point_blanks_the_fault_rate(self, tmp_path):
+        """A quarantined adaptive task must blank its bit-fault-rate cells.
+
+        The fault rate rides on the adaptive task's profiling pass, so when
+        that task is lost the rate was never measured — rendering ``0.00%``
+        would claim a fault-free SRAM at an overscaled voltage.  The cell
+        must render "-" like the error cells (the regression this pins down:
+        ``adaptive["fault_rate"] if adaptive else 0.0``)."""
+        from repro.experiments.cache import ArtifactCache
+        from repro.experiments.engine import QuarantinedTask, SweepRunner
+        from repro.experiments.fig10_error_vs_voltage import run_fig10
+
+        class AdaptivePoisonedRunner(SweepRunner):
+            """Serial runner that quarantines every adaptive task."""
+
+            def map(self, worker, tasks, shared=None):
+                for task in tasks:
+                    if task.mode == "adaptive":
+                        yield QuarantinedTask(
+                            task=task, digest="poisoned", attempts=1
+                        )
+                    else:
+                        yield worker(shared, task)
+
+        result = run_fig10(
+            benchmarks=("inversek2j",),
+            voltages=(0.9, 0.5),
+            num_samples=200,
+            adaptive_epochs=2,
+            runner=AdaptivePoisonedRunner(),
+            cache=ArtifactCache(root=tmp_path / "cache"),
+        )
+        sweep = result.sweep_for("inversek2j")
+        nominal = sweep.point_at(0.9)
+        overscaled = sweep.point_at(0.5)
+        assert nominal.bit_fault_rate == 0.0  # fault-free by construction
+        assert nominal.naive_error is not None
+        assert overscaled.bit_fault_rate is None  # never measured
+        assert overscaled.adaptive_error is None
+        text = result.to_experiment_result().to_text()
+        assert "QUARANTINED" in text
+        row = next(
+            line for line in text.splitlines() if line.lstrip().startswith("inversek2j") and "0.50" in line
+        )
+        assert "0.00%" not in row, "a lost measurement must not render as 0.00%"
+        assert "-" in row
 
     def test_serial_walk_driver_renders_recalled_sentinels(self):
         """Fig. 12's forced-serial walk cannot be poisoned through the queue,

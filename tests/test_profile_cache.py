@@ -38,11 +38,15 @@ class TestProfileChipMemoization:
     def test_repeat_profile_is_a_cache_hit(self, cache):
         flow = MaticFlow(training_cache=cache)
         flow.profile_chip(make_chip(), VOLTAGE)
+        assert flow.profile_counters.chip_misses == 1
+        assert flow.profile_counters.bank_misses == 2  # one per bank
         stores = cache.stats.stores
         hits = cache.stats.hits
         flow.profile_chip(make_chip(), VOLTAGE)
         assert cache.stats.stores == stores  # nothing re-profiled
-        assert cache.stats.hits == hits + 2  # one hit per bank
+        assert cache.stats.hits == hits + 1  # one chip-level hit, no bank trips
+        assert flow.profile_counters.chip_hits == 1
+        assert flow.profile_counters.bank_hits == 0
 
     def test_cache_hit_does_not_touch_the_bank(self, cache):
         flow = MaticFlow(training_cache=cache)
@@ -66,7 +70,7 @@ class TestProfileChipMemoization:
         reopened = ArtifactCache(root=cache.root)
         flow = MaticFlow(training_cache=reopened)
         flow.profile_chip(make_chip(), VOLTAGE)
-        assert reopened.stats.hits == 2
+        assert reopened.stats.hits == 1  # the single chip-level record
         assert reopened.stats.stores == 0
 
     def test_distinct_operating_points_do_not_collide(self, cache):
@@ -80,14 +84,15 @@ class TestProfileChipMemoization:
         for a, b in zip(low + high, warm_low + warm_high):
             assert a == b
         cold_temp = flow.profile_chip(make_chip(), 0.44, temperature=-10.0)
-        assert cache.stats.stores == 6  # third operating point re-profiled
+        # 2 bank + 1 chip records per operating point, third point re-profiled
+        assert cache.stats.stores == 9
         assert cold_temp[0].num_faults >= low[0].num_faults
 
     def test_distinct_chips_do_not_collide(self, cache):
         flow = MaticFlow(training_cache=cache)
         first = flow.profile_chip(make_chip(seed=5), VOLTAGE)
         second = flow.profile_chip(make_chip(seed=6), VOLTAGE)
-        assert cache.stats.stores == 4  # both chips profiled for real
+        assert cache.stats.stores == 6  # both chips (2 bank + 1 chip records each)
         assert any(a != b for a, b in zip(first, second))
 
     def test_custom_profiler_class_gets_own_cache_entries(self, cache):
@@ -102,7 +107,7 @@ class TestProfileChipMemoization:
         flow.profile_chip(make_chip(), VOLTAGE)
         stores = cache.stats.stores
         flow.profile_chip(make_chip(), VOLTAGE, profiler=CustomProfiler())
-        assert cache.stats.stores == stores + 2  # re-profiled under its own key
+        assert cache.stats.stores == stores + 3  # re-profiled under its own key
 
     def test_profiler_configuration_participates_in_the_key(self, cache):
         """A subclass extending describe() with its own settings gets one
@@ -121,9 +126,9 @@ class TestProfileChipMemoization:
         flow.profile_chip(make_chip(), VOLTAGE, profiler=RepeatProfiler(passes=1))
         stores = cache.stats.stores
         flow.profile_chip(make_chip(), VOLTAGE, profiler=RepeatProfiler(passes=3))
-        assert cache.stats.stores == stores + 2  # separate keys per config
+        assert cache.stats.stores == stores + 3  # separate keys per config
         flow.profile_chip(make_chip(), VOLTAGE, profiler=RepeatProfiler(passes=3))
-        assert cache.stats.stores == stores + 2  # same config is a hit
+        assert cache.stats.stores == stores + 3  # same config is a hit
 
     def test_patterns_for_is_public_and_keys_the_cache(self, cache):
         """A subclass overriding the public patterns_for() hook must get its
@@ -152,9 +157,9 @@ class TestProfileChipMemoization:
         flow.profile_chip(make_chip(), VOLTAGE)
         stores = cache.stats.stores
         flow.profile_chip(make_chip(), VOLTAGE, profiler=CheckerboardProfiler())
-        assert cache.stats.stores == stores + 2  # re-profiled under its own key
+        assert cache.stats.stores == stores + 3  # re-profiled under its own key
         flow.profile_chip(make_chip(), VOLTAGE, profiler=CheckerboardProfiler())
-        assert cache.stats.stores == stores + 2  # same patterns hit the cache
+        assert cache.stats.stores == stores + 3  # same patterns hit the cache
 
     def test_legacy_private_override_still_drives_profiling(self):
         """A pre-publication subclass overriding _patterns_for keeps working:
