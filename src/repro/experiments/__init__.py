@@ -32,7 +32,11 @@ topology-sweep fits) are memoized by the content-addressed artifact cache
 (:mod:`repro.experiments.cache`).  For sweeps that must survive worker
 death, the elastic queue backend (:mod:`repro.experiments.queue`) adds
 lease-based claiming, retries with quarantine, and zero-recompute resume;
-:mod:`repro.experiments.faults` is its deterministic chaos harness.
+the socket broker (:mod:`repro.experiments.broker`) serves the same
+semantics over TCP for fleets with no shared filesystem; and
+:mod:`repro.experiments.faults` is the deterministic chaos harness for
+both — process-level (kill/delay/no-heartbeat/poison) and wire-level
+(drop-connection/partition/delay-ack/kill-broker) rules.
 
 The engine/cache/common core is imported eagerly; the nine driver modules
 load lazily (PEP 562).  Laziness is not an import-time optimization: it
@@ -85,10 +89,24 @@ from .engine import (
     retry_delay,
     task_digest,
 )
-from .faults import DelayTask, FaultPlan, KillWorker, SuppressHeartbeat
+from .faults import (
+    DelayAck,
+    DelayTask,
+    DropConnection,
+    FaultPlan,
+    KillBroker,
+    KillWorker,
+    PartitionWorker,
+    PoisonTask,
+    SuppressHeartbeat,
+)
 from .queue import QueueBackend
-#: Lazily exported driver attributes: name -> submodule that defines it.
+#: Lazily exported attributes: name -> submodule that defines it.  Mostly
+#: driver entry points; also BrokerBackend, whose module is runnable
+#: (``python -m repro.experiments.broker serve``) and therefore must not be
+#: pre-imported here (the runpy double-execution warning, same as drivers).
 _DRIVER_EXPORTS = {
+    "BrokerBackend": "broker",
     "run_fig5": "fig05_mat_sweep",
     "run_fig9a": "fig09_sram",
     "run_fig9b": "fig09_sram",
@@ -132,10 +150,16 @@ def __dir__() -> list[str]:
 
 __all__ = [
     "ArtifactCache",
+    "BrokerBackend",
+    "DelayAck",
     "DelayTask",
+    "DropConnection",
     "ExperimentResult",
     "FaultPlan",
+    "KillBroker",
     "KillWorker",
+    "PartitionWorker",
+    "PoisonTask",
     "PreparedBenchmark",
     "ProcessBackend",
     "QuarantinedTask",

@@ -97,6 +97,7 @@ __all__ = [
     "collect_shard_results",
     "default_cache",
     "lease_expired",
+    "new_lease",
     "poison_key",
     "read_lease",
     "release_lease",
@@ -658,6 +659,29 @@ def collect_shard_results(
 # it is itself atomic (exactly one stealer wins the rename).
 
 
+def new_lease(
+    owner: str,
+    lease_seconds: float,
+    hard_deadline: float | None = None,
+    now: float | None = None,
+) -> dict[str, Any]:
+    """A fresh lease payload: the one lease shape every holder agrees on.
+
+    ``heartbeat_deadline`` starts at now + ``lease_seconds`` and is pushed
+    forward by renewals; ``hard_deadline`` (the ``--task-timeout`` bound) is
+    absolute and never renewed.  Shared by the directory queue (which writes
+    it to a lease file) and the socket broker (which keeps it in memory and
+    journals it) so :func:`lease_expired` judges both identically.
+    """
+    now = time.time() if now is None else now
+    return {
+        "owner": str(owner),
+        "acquired": now,
+        "heartbeat_deadline": now + float(lease_seconds),
+        "hard_deadline": float(hard_deadline) if hard_deadline is not None else None,
+    }
+
+
 def acquire_lease(
     path: Path | str,
     owner: str,
@@ -669,21 +693,10 @@ def acquire_lease(
     The lease is written to a temp file first and linked into place with
     ``os.link`` (atomic create-if-absent *with* content, unlike a bare
     ``O_CREAT | O_EXCL`` open followed by a write, which would expose an
-    empty lease between the two syscalls).  ``heartbeat_deadline`` starts at
-    now + ``lease_seconds`` and is pushed forward by :func:`renew_lease`;
-    ``hard_deadline`` (the ``--task-timeout`` bound) is absolute and never
-    renewed, so even a worker whose heartbeat thread stays alive cannot hold
-    a task past it.
+    empty lease between the two syscalls).  See :func:`new_lease` for the
+    deadline semantics.
     """
-    now = time.time()
-    payload = json.dumps(
-        {
-            "owner": str(owner),
-            "acquired": now,
-            "heartbeat_deadline": now + float(lease_seconds),
-            "hard_deadline": float(hard_deadline) if hard_deadline is not None else None,
-        }
-    )
+    payload = json.dumps(new_lease(owner, lease_seconds, hard_deadline))
     path = Path(path)
     temp_name = None
     try:
@@ -901,6 +914,12 @@ def main(argv: list[str] | None = None) -> int:
     verify_parser.add_argument(
         "--remove", action="store_true", help="delete the corrupt entries found"
     )
+    verify_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON object instead of text "
+        "({root, count, removed, corrupt: [{kind, path, error}]})",
+    )
     evict_parser = commands.add_parser(
         "evict", help="LRU-evict oldest artifacts down to a byte budget"
     )
@@ -953,10 +972,30 @@ def main(argv: list[str] | None = None) -> int:
             corrupt = cache.verify(kind=args.kind, remove=args.remove)
         except ValueError as error:
             parser.error(str(error))
-        for entry in corrupt:
-            print(f"corrupt [{entry['kind']}] {entry['path']}: {entry['error']}")
-        verb = "removed" if args.remove else "found"
-        print(f"{verb} {len(corrupt)} corrupt entries")
+        if args.json:
+            # stable machine-readable shape for CI zero-corruption gates
+            print(
+                json.dumps(
+                    {
+                        "root": str(cache.root),
+                        "count": len(corrupt),
+                        "removed": bool(args.remove),
+                        "corrupt": [
+                            {
+                                "kind": entry["kind"],
+                                "path": str(entry["path"]),
+                                "error": entry["error"],
+                            }
+                            for entry in corrupt
+                        ],
+                    }
+                )
+            )
+        else:
+            for entry in corrupt:
+                print(f"corrupt [{entry['kind']}] {entry['path']}: {entry['error']}")
+            verb = "removed" if args.remove else "found"
+            print(f"{verb} {len(corrupt)} corrupt entries")
     else:
         try:
             age = parse_age(args.older_than)

@@ -33,6 +33,10 @@ Execution is delegated to a :class:`SweepBackend`:
   elastic backend: a shared-directory task queue with lease-based claims,
   heartbeat renewal, work-stealing re-execution of dead workers' tasks, and
   poison quarantine.  See :doc:`docs/robustness`.
+* ``BrokerBackend`` (:mod:`repro.experiments.broker`) — the queue's
+  socket-distributed sibling for hosts that share no filesystem: the same
+  lease/retry/quarantine semantics served by a TCP broker with an
+  append-only journal, so a killed broker restarts with zero lost claims.
 
 ``SweepRunner(backend=...)`` accepts a backend name or instance; ``None``
 falls back to ``$REPRO_SWEEP_BACKEND`` and finally to ``"process"``.  A
@@ -131,7 +135,7 @@ _ENV_WORKERS = "REPRO_SWEEP_WORKERS"
 _ENV_BACKEND = "REPRO_SWEEP_BACKEND"
 
 #: Names accepted by ``SweepRunner(backend=...)`` and ``$REPRO_SWEEP_BACKEND``.
-BACKEND_NAMES = ("serial", "process", "thread", "queue")
+BACKEND_NAMES = ("serial", "process", "thread", "queue", "broker")
 
 #: Default base delay (seconds) between retry attempts; see :func:`retry_delay`.
 DEFAULT_BACKOFF = 0.5
@@ -699,6 +703,13 @@ def resolve_backend(
             from .queue import QueueBackend
 
             return QueueBackend(mp_context=mp_context, task_timeout=task_timeout)
+        if name == "broker":
+            # embedded-broker mode: the backend spawns (and supervises) its
+            # own broker subprocess; `--broker host:port` attaches to a live
+            # one instead (see repro.experiments.broker)
+            from .broker import BrokerBackend
+
+            return BrokerBackend(mp_context=mp_context, task_timeout=task_timeout)
         raise ValueError(
             f"unknown sweep backend {spec!r} (expected one of {BACKEND_NAMES})"
         )
@@ -744,15 +755,22 @@ class SweepExecution:
         return len(self.tasks)
 
     def _advance(self) -> Iterator[tuple[int, Any]]:
-        for position, value in self._stream:
-            self._completed[position] = value
-            if self._on_result is not None:
-                self._on_result()
-            if self._progress is not None:
-                self._progress(
-                    self.tasks[position], value, len(self._completed), len(self.tasks)
-                )
-            yield position, value
+        try:
+            for position, value in self._stream:
+                self._completed[position] = value
+                if self._on_result is not None:
+                    self._on_result()
+                if self._progress is not None:
+                    self._progress(
+                        self.tasks[position], value, len(self._completed), len(self.tasks)
+                    )
+                yield position, value
+        except BaseException:
+            # the error (or a caller abandoning as_completed mid-iteration)
+            # must release backend resources — worker fleets, broker sockets,
+            # heartbeat threads — not leave them to a GC-timed finalizer
+            self.close()
+            raise
 
     def completions(self) -> Iterator[tuple[int, SweepTask, Any]]:
         """Yield ``(position, task, result)`` triples in completion order.

@@ -97,7 +97,12 @@ from .engine import (
 )
 from .faults import NULL_INJECTOR, FaultPlan
 
-__all__ = ["QueueBackend", "DEFAULT_QUEUE_RETRIES"]
+__all__ = [
+    "QueueBackend",
+    "DEFAULT_QUEUE_RETRIES",
+    "fail_transition",
+    "recall_settled",
+]
 
 #: Queue-backend default retry budget (used when the runner leaves it unset):
 #: unlike the in-process backends, retrying here is what the backend is *for*.
@@ -135,6 +140,70 @@ def _read_record(path: Path) -> dict[str, Any] | None:
     return record if isinstance(record, dict) else None
 
 
+def fail_transition(
+    record: dict[str, Any],
+    error: str,
+    retries: int,
+    backoff: float,
+    now: float | None = None,
+) -> tuple[str, dict[str, Any]]:
+    """The one requeue-or-quarantine decision every queue flavour shares.
+
+    Given a task record ``{task, digest, attempts, errors, ...}`` and the
+    error that failed this attempt, returns either ``("requeue", record')``
+    — attempts incremented, the error appended, and ``not_before`` pushed to
+    now + :func:`~repro.experiments.engine.retry_delay` (exponential backoff
+    with deterministic per-digest jitter) — or, once ``attempts > retries``,
+    ``("poison", payload)`` where the payload is store-shaped
+    ``{task, digest, attempts, errors}``.  The directory queue persists the
+    outcome as a task-file rewrite / poison-store put; the socket broker
+    journals it — both express this exact transition so chaos tests can
+    assert identical retry trajectories across backends.
+    """
+    now = time.time() if now is None else now
+    digest = record["digest"]
+    attempts = record.get("attempts", 0) + 1
+    errors = [*record.get("errors", []), error]
+    if attempts > int(retries):
+        return "poison", {
+            "task": record.get("task"),
+            "digest": digest,
+            "attempts": attempts,
+            "errors": tuple(errors),
+        }
+    return "requeue", {
+        **record,
+        "attempts": attempts,
+        "errors": errors,
+        "not_before": now + retry_delay(backoff, digest, attempts),
+    }
+
+
+def recall_settled(
+    store: ArtifactCache, label: str, worker_name: str, digest: str
+) -> tuple[str, Any] | None:
+    """Look a task up in the store's terminal states.
+
+    Returns ``("result", value)`` for a published result, ``("poison",
+    QuarantinedTask)`` for a quarantined task, or ``None`` while the task is
+    still unsettled.  This is the single source of truth for "is this task
+    done?" — workers use it to skip re-execution, and both the queue and
+    broker coordinators use it to recall prior work at zero recomputation.
+    """
+    payload = store.get(SHARD_RESULT_KIND, shard_result_key(label, worker_name, digest))
+    if payload is not None:
+        return "result", payload["result"]
+    payload = store.get(POISON_KIND, poison_key(label, worker_name, digest))
+    if payload is not None:
+        return "poison", QuarantinedTask(
+            task=payload.get("task"),
+            digest=digest,
+            attempts=int(payload.get("attempts", 0)),
+            errors=tuple(payload.get("errors", ())),
+        )
+    return None
+
+
 @dataclass
 class _WorkerConfig:
     """Everything a queue worker process needs, in one picklable record."""
@@ -164,7 +233,10 @@ class _Heartbeat:
         self.lease_seconds = lease_seconds
         self.interval = max(0.01, float(interval))
         self._stop = threading.Event()
-        self._thread = threading.Thread(target=self._run, daemon=True)
+        # named so tests can assert no repro-* thread outlives its sweep
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name="repro-heartbeat"
+        )
 
     def start(self) -> None:
         self._thread.start()
@@ -178,6 +250,10 @@ class _Heartbeat:
 
     def stop(self) -> None:
         self._stop.set()
+        # join so stop() is a real resource release, not a request: once it
+        # returns, no renewal can race a lease this worker already released
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)
 
 
 class _QueueWorker:
@@ -214,18 +290,8 @@ class _QueueWorker:
     def _settled(self, digest: str) -> bool:
         """Whether the task already has a terminal record in the store."""
         config = self.config
-        if (
-            config.store.get(
-                SHARD_RESULT_KIND,
-                shard_result_key(config.label, config.worker_name, digest),
-            )
-            is not None
-        ):
-            return True
         return (
-            config.store.get(
-                POISON_KIND, poison_key(config.label, config.worker_name, digest)
-            )
+            recall_settled(config.store, config.label, config.worker_name, digest)
             is not None
         )
 
@@ -320,34 +386,19 @@ class _QueueWorker:
     def _fail_task(self, path: Path, record: dict[str, Any], error: str) -> None:
         """Requeue a failed attempt with backoff, or quarantine it."""
         config = self.config
-        digest = record["digest"]
-        attempts = record.get("attempts", 0) + 1
-        errors = [*record.get("errors", []), error]
-        if attempts > config.retries:
+        state, payload = fail_transition(record, error, config.retries, config.backoff)
+        if state == "poison":
             config.store.put(
                 POISON_KIND,
-                poison_key(config.label, config.worker_name, digest),
-                {
-                    "task": record.get("task"),
-                    "digest": digest,
-                    "attempts": attempts,
-                    "errors": tuple(errors),
-                },
+                poison_key(config.label, config.worker_name, record["digest"]),
+                payload,
             )
             try:
                 path.unlink()
             except OSError:
                 pass
         else:
-            _write_record(
-                path,
-                {
-                    **record,
-                    "attempts": attempts,
-                    "errors": errors,
-                    "not_before": time.time() + retry_delay(config.backoff, digest, attempts),
-                },
-            )
+            _write_record(path, payload)
 
     # ------------------------------------------------------- work stealing
 
@@ -576,24 +627,7 @@ class QueueBackend:
             positions.setdefault(digest, []).append(position)
 
         def recall(digest: str) -> tuple[str, Any] | None:
-            payload = store.get(
-                SHARD_RESULT_KIND,
-                shard_result_key(config.label, config.worker_name, digest),
-            )
-            if payload is not None:
-                return "result", payload["result"]
-            payload = store.get(
-                POISON_KIND, poison_key(config.label, config.worker_name, digest)
-            )
-            if payload is not None:
-                quarantine = QuarantinedTask(
-                    task=payload.get("task"),
-                    digest=digest,
-                    attempts=int(payload.get("attempts", 0)),
-                    errors=tuple(payload.get("errors", ())),
-                )
-                return "poison", quarantine
-            return None
+            return recall_settled(store, config.label, config.worker_name, digest)
 
         def consume(digest: str, kind: str, value: Any) -> list[tuple[int, Any]]:
             if kind == "poison":

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import os
 import time
 
@@ -237,6 +238,32 @@ class TestVerifyCorruption:
         self.corrupt_kind(cache)
         assert main(["--root", str(cache.root), "verify", "--remove"]) == 0
         assert "removed 2 corrupt entries" in capsys.readouterr().out
+        assert cache.disk_stats()["total_entries"] == 1
+
+    def test_cli_verify_json(self, cache, capsys):
+        """--json emits one machine-readable object (what CI asserts on)."""
+        populate(cache)
+        self.corrupt_kind(cache)
+        assert main(["--root", str(cache.root), "verify", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["root"] == str(cache.root)
+        assert report["count"] == 2
+        assert report["removed"] is False
+        assert {entry["kind"] for entry in report["corrupt"]} == {"trained-weights"}
+        assert all(entry["path"] and entry["error"] for entry in report["corrupt"])
+
+    def test_cli_verify_json_clean_cache(self, cache, capsys):
+        populate(cache)
+        assert main(["--root", str(cache.root), "verify", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["count"] == 0 and report["corrupt"] == []
+
+    def test_cli_verify_json_remove(self, cache, capsys):
+        populate(cache)
+        self.corrupt_kind(cache)
+        assert main(["--root", str(cache.root), "verify", "--json", "--remove"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["count"] == 2 and report["removed"] is True
         assert cache.disk_stats()["total_entries"] == 1
 
     def test_cli_prune_corrupt_ignores_age(self, cache, capsys):
